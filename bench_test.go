@@ -1,0 +1,348 @@
+// Benchmarks regenerating every figure and headline claim in the paper's
+// evaluation (§5), plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark runs complete simulations in virtual time; the
+// reported custom metrics (completions, ratios, error counts) are the
+// quantities the paper's figures plot. Wall-clock ns/op is incidental.
+//
+// The benchmarks use a compressed 2-hour window (30-minute warmup) so the
+// whole suite completes in minutes; cmd/figures regenerates the paper's
+// full 8-hour runs.
+package compilegate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"compilegate/internal/catalog"
+	"compilegate/internal/core"
+	"compilegate/internal/engine"
+	"compilegate/internal/gateway"
+	"compilegate/internal/harness"
+	"compilegate/internal/mem"
+	"compilegate/internal/optimizer"
+	"compilegate/internal/sqlparser"
+	"compilegate/internal/stats"
+	"compilegate/internal/vtime"
+	"compilegate/internal/workload"
+)
+
+// benchWindow is the compressed measurement window used by the suite.
+func benchOptions(clients int, throttled bool) harness.Options {
+	o := harness.DefaultOptions(clients)
+	o.Horizon = 2 * time.Hour
+	o.Warmup = 30 * time.Minute
+	o.Throttled = throttled
+	return o
+}
+
+func mustRun(b *testing.B, o harness.Options) *harness.Result {
+	b.Helper()
+	r, err := harness.Run(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFigure1MonitorLadder verifies and reports the monitor ladder:
+// thresholds strictly ascending, concurrency strictly descending
+// (4·CPU / 1·CPU / 1), timeouts ascending.
+func BenchmarkFigure1MonitorLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chain, err := gateway.NewChain(gateway.DefaultConfig(8, 4*mem.GiB))
+		if err != nil {
+			b.Fatal(err)
+		}
+		info := chain.Info()
+		for j := 1; j < len(info); j++ {
+			if info[j].Threshold <= info[j-1].Threshold || info[j].Slots > info[j-1].Slots {
+				b.Fatal("monitor ladder not monotonic")
+			}
+		}
+		b.ReportMetric(float64(info[0].Slots), "small-slots")
+		b.ReportMetric(float64(info[1].Slots), "medium-slots")
+		b.ReportMetric(float64(info[2].Slots), "big-slots")
+	}
+}
+
+// BenchmarkFigure2ThrottleTrace reproduces the Figure 2 trace: staggered
+// compilations block at monitors (flat regions in their memory curves)
+// and later compilations are blocked by earlier ones.
+func BenchmarkFigure2ThrottleTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched := vtime.NewScheduler()
+		budget := mem.NewBudget(1 * mem.GiB)
+		gov, err := core.NewGovernor(core.DefaultOptions(2, budget.Total()), budget.NewTracker("compile"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var waits time.Duration
+		peaks := []int64{420 * mem.MiB, 300 * mem.MiB, 280 * mem.MiB}
+		for qi, peak := range peaks {
+			qi, peak := qi, peak
+			sched.Go("q", func(t *vtime.Task) {
+				t.Sleep(time.Duration(qi) * 5 * time.Second)
+				c := gov.Begin(t, "q")
+				for c.Used() < peak {
+					if err := c.Alloc(10 * mem.MiB); err != nil {
+						b.Error(err)
+						break
+					}
+					t.Sleep(time.Second)
+				}
+				waits += c.GateWait()
+				c.Finish()
+			})
+		}
+		if err := sched.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if waits == 0 {
+			b.Fatal("no gate blocking occurred; Figure 2 trace is flat")
+		}
+		b.ReportMetric(waits.Seconds(), "gate-wait-s")
+	}
+}
+
+// throughputFigure runs one paper throughput figure (3, 4 or 5).
+func throughputFigure(b *testing.B, clients int) {
+	for i := 0; i < b.N; i++ {
+		th := mustRun(b, benchOptions(clients, true))
+		ba := mustRun(b, benchOptions(clients, false))
+		ratio, _ := harness.Compare(th, ba)
+		b.ReportMetric(float64(th.Completed), "throttled-completions")
+		b.ReportMetric(float64(ba.Completed), "baseline-completions")
+		b.ReportMetric(ratio, "throughput-ratio")
+		b.ReportMetric(float64(th.Errors), "throttled-errors")
+		b.ReportMetric(float64(ba.Errors), "baseline-errors")
+	}
+}
+
+// BenchmarkFigure3Throughput30 reproduces Figure 3 (30 clients): the
+// paper reports ~35% higher throughput with throttling enabled.
+func BenchmarkFigure3Throughput30(b *testing.B) { throughputFigure(b, 30) }
+
+// BenchmarkFigure4Throughput35 reproduces Figure 4 (35 clients).
+func BenchmarkFigure4Throughput35(b *testing.B) { throughputFigure(b, 35) }
+
+// BenchmarkFigure5Throughput40 reproduces Figure 5 (40 clients).
+func BenchmarkFigure5Throughput40(b *testing.B) { throughputFigure(b, 40) }
+
+// BenchmarkClientSweep reproduces the §5.2 observation that 30 clients is
+// the maximum-throughput point: fewer clients yield less throughput, more
+// clients saturate the server.
+func BenchmarkClientSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, clients := range []int{10, 20, 30, 40} {
+			r := mustRun(b, benchOptions(clients, true))
+			b.ReportMetric(float64(r.Completed), "completions-"+itoa(clients))
+		}
+	}
+}
+
+// BenchmarkCompletionRates reproduces the §5.2 reliability claim:
+// throttling yields measurably higher completion rates (fewer resource
+// errors) under overload.
+func BenchmarkCompletionRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, clients := range []int{30, 40} {
+			th := mustRun(b, benchOptions(clients, true))
+			ba := mustRun(b, benchOptions(clients, false))
+			b.ReportMetric(completionRate(th), "throttled-rate-"+itoa(clients))
+			b.ReportMetric(completionRate(ba), "baseline-rate-"+itoa(clients))
+		}
+	}
+}
+
+func completionRate(r *harness.Result) float64 {
+	total := float64(r.Completed + r.Errors)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Completed) / total
+}
+
+// BenchmarkCompileMemoryByWorkload reproduces the §5.1 claim that SALES
+// queries consume one to two orders of magnitude more compile memory than
+// TPC-H queries of similar scale.
+func BenchmarkCompileMemoryByWorkload(b *testing.B) {
+	salesCat := catalog.NewSales(catalog.SalesConfig{Scale: 0.04, ExtentBytes: 8 << 20})
+	tpchCat := catalog.NewTPCHLike(0.0004, 8<<20)
+	salesOpt := optimizer.New(stats.NewEstimator(salesCat), optimizer.DefaultConfig())
+	tpchOpt := optimizer.New(stats.NewEstimator(tpchCat), optimizer.DefaultConfig())
+	salesGen, tpchGen := workload.NewSales(), workload.NewTPCH()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var salesBytes, tpchBytes int64
+		const n = 30
+		for j := 0; j < n; j++ {
+			q, err := sqlparser.Parse(salesGen.Next(rng))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := salesOpt.Optimize(q, optimizer.Hooks{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			salesBytes += p.CompileBytes
+			q2, err := sqlparser.Parse(tpchGen.Next(rng))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p2, err := tpchOpt.Optimize(q2, optimizer.Hooks{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tpchBytes += p2.CompileBytes
+		}
+		ratio := float64(salesBytes) / float64(tpchBytes)
+		if ratio < 10 {
+			b.Fatalf("SALES/TPC-H compile memory ratio = %.1f, paper says 1-2 orders of magnitude", ratio)
+		}
+		b.ReportMetric(float64(salesBytes)/n/float64(mem.MiB), "sales-MiB/query")
+		b.ReportMetric(float64(tpchBytes)/n/float64(mem.MiB), "tpch-MiB/query")
+		b.ReportMetric(ratio, "sales/tpch-ratio")
+	}
+}
+
+// BenchmarkQueryProfile reproduces the §5.2 workload profile: compiles of
+// 10-90 s and executions of 30 s - 10 min.
+func BenchmarkQueryProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := mustRun(b, benchOptions(30, true))
+		b.ReportMetric(r.CompileP50.Seconds(), "compile-p50-s")
+		b.ReportMetric(r.ExecP50.Seconds(), "exec-p50-s")
+		if r.CompileP50 < time.Second || r.CompileP50 > 5*time.Minute {
+			b.Fatalf("compile p50 %v outside the paper's profile", r.CompileP50)
+		}
+		if r.ExecP50 < 10*time.Second || r.ExecP50 > 30*time.Minute {
+			b.Fatalf("exec p50 %v outside the paper's profile", r.ExecP50)
+		}
+	}
+}
+
+// --- Ablations (A-1 .. A-5 in DESIGN.md) ---
+
+// BenchmarkAblationMonitorCount compares 1-, 2-, 3- and 5-monitor
+// ladders; the paper chose three monitors ("four memory usage
+// categories") as the best balance.
+func BenchmarkAblationMonitorCount(b *testing.B) {
+	ladders := map[string]gateway.Config{
+		"1": {Levels: []gateway.LevelConfig{
+			{Name: "only", Threshold: 380 * mem.KiB, Slots: 8, Timeout: 12 * time.Minute},
+		}},
+		"2": {Levels: []gateway.LevelConfig{
+			{Name: "small", Threshold: 380 * mem.KiB, Slots: 32, Timeout: 6 * time.Minute},
+			{Name: "big", Threshold: 256 * mem.MiB, Slots: 1, Timeout: 24 * time.Minute},
+		}},
+		"3": gateway.DefaultConfig(8, 4*mem.GiB),
+		"5": {Levels: []gateway.LevelConfig{
+			{Name: "xs", Threshold: 380 * mem.KiB, Slots: 32, Timeout: 6 * time.Minute},
+			{Name: "s", Threshold: 16 * mem.MiB, Slots: 16, Timeout: 8 * time.Minute},
+			{Name: "m", Threshold: 43 * mem.MiB, Slots: 8, Timeout: 12 * time.Minute},
+			{Name: "l", Threshold: 128 * mem.MiB, Slots: 4, Timeout: 16 * time.Minute},
+			{Name: "xl", Threshold: 256 * mem.MiB, Slots: 1, Timeout: 24 * time.Minute},
+		}},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"1", "2", "3", "5"} {
+			cfg := engine.DefaultConfig()
+			ladder := ladders[name]
+			cfg.GatewayOverride = &ladder
+			o := benchOptions(30, true)
+			o.Engine = &cfg
+			r := mustRun(b, o)
+			b.ReportMetric(float64(r.Completed), "completions-"+name+"mon")
+		}
+	}
+}
+
+// BenchmarkAblationDynamicThresholds compares §4.1's broker-driven
+// thresholds against static ones.
+func BenchmarkAblationDynamicThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, dyn := range []bool{true, false} {
+			cfg := engine.DefaultConfig()
+			cfg.DynamicThresholds = dyn
+			o := benchOptions(35, true)
+			o.Engine = &cfg
+			r := mustRun(b, o)
+			key := "static"
+			if dyn {
+				key = "dynamic"
+			}
+			b.ReportMetric(float64(r.Completed), "completions-"+key)
+			b.ReportMetric(float64(r.Errors), "errors-"+key)
+		}
+	}
+}
+
+// BenchmarkAblationBestEffortPlan compares §4.1's best-effort plans
+// against plain out-of-memory failures on a memory-starved machine.
+func BenchmarkAblationBestEffortPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, be := range []bool{true, false} {
+			cfg := engine.DefaultConfig()
+			cfg.BestEffort = be
+			cfg.MemoryBytes = 2 * mem.GiB // starved: exhaustion signal fires
+			o := benchOptions(30, true)
+			o.Engine = &cfg
+			r := mustRun(b, o)
+			key := "off"
+			if be {
+				key = "on"
+			}
+			b.ReportMetric(float64(r.Completed), "completions-besteffort-"+key)
+			b.ReportMetric(float64(r.ErrorsByKind[engine.ErrKindOOM]), "oom-besteffort-"+key)
+			b.ReportMetric(float64(r.BestEffortPlans), "besteffort-plans-"+key)
+		}
+	}
+}
+
+// BenchmarkAblationBypass verifies the diagnostic-query property: small
+// queries proceed unblocked (zero gate acquisitions) even while the
+// system is saturated with large compilations.
+func BenchmarkAblationBypass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions(24, true)
+		o.Workload = "mix"
+		r := mustRun(b, o)
+		b.ReportMetric(float64(r.Completed), "mix-completions")
+		b.ReportMetric(float64(r.GatewayTimeouts), "gateway-timeouts")
+	}
+}
+
+// BenchmarkAblationBrokerOnly measures the broker's contribution without
+// compilation throttling (ablation A-5).
+func BenchmarkAblationBrokerOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, brokerOn := range []bool{true, false} {
+			cfg := engine.DefaultConfig()
+			cfg.BrokerEnabled = brokerOn
+			o := benchOptions(30, false) // throttle off in both
+			o.Engine = &cfg
+			r := mustRun(b, o)
+			key := "off"
+			if brokerOn {
+				key = "on"
+			}
+			b.ReportMetric(float64(r.Completed), "completions-broker-"+key)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

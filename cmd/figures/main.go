@@ -1,0 +1,147 @@
+// figures regenerates every figure dataset from the paper: the monitor
+// ladder (Fig. 1), a compilation-throttling trace (Fig. 2), and the
+// throttled-vs-baseline throughput series at 30/35/40 clients
+// (Figs. 3-5), plus the headline numbers quoted in the text.
+//
+// Usage:
+//
+//	figures [-quick] [-figure all|1|2|3|4|5]
+//
+// -quick shrinks the simulation window so a full regeneration finishes in
+// well under a minute of wall-clock time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"compilegate"
+
+	"compilegate/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "short simulation window")
+	fig := flag.String("figure", "all", "which figure to regenerate")
+	flag.Parse()
+
+	horizon, warmup := 8*time.Hour, 3*time.Hour
+	if *quick {
+		horizon, warmup = 2*time.Hour, 30*time.Minute
+	}
+
+	switch *fig {
+	case "1":
+		figure1()
+	case "2":
+		figure2()
+	case "3":
+		throughputFigure(3, 30, horizon, warmup)
+	case "4":
+		throughputFigure(4, 35, horizon, warmup)
+	case "5":
+		throughputFigure(5, 40, horizon, warmup)
+	case "all":
+		figure1()
+		figure2()
+		throughputFigure(3, 30, horizon, warmup)
+		throughputFigure(4, 35, horizon, warmup)
+		throughputFigure(5, 40, horizon, warmup)
+	default:
+		fmt.Fprintln(os.Stderr, "figures: unknown -figure", *fig)
+		os.Exit(2)
+	}
+}
+
+// figure1 prints the monitor ladder (thresholds ascending, concurrency
+// descending) — the content of the paper's Figure 1.
+func figure1() {
+	fmt.Println("== Figure 1: memory monitors ==")
+	chain, err := compilegate.NewGatewayChain(compilegate.DefaultGatewayConfig(8, 4*compilegate.GiB))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(chain.String())
+	fmt.Println()
+}
+
+// figure2 reproduces the throttling example trace: staggered compilations
+// whose memory curves flatten while blocked at monitors.
+func figure2() {
+	fmt.Println("== Figure 2: compilation throttling example ==")
+	sched := compilegate.NewScheduler()
+	budget := compilegate.NewBudget(1 * compilegate.GiB)
+	opts := compilegate.DefaultGovernorOptions(2, budget.Total())
+	gov, err := compilegate.NewGovernor(opts, budget.NewTracker("compile"))
+	if err != nil {
+		panic(err)
+	}
+	type samp struct {
+		t time.Duration
+		v [3]int64
+	}
+	var series []samp
+	cur := [3]int64{}
+	peaks := []int64{420 * compilegate.MiB, 300 * compilegate.MiB, 280 * compilegate.MiB}
+	rates := []time.Duration{time.Second, 2 * time.Second, 2 * time.Second}
+	for i := range peaks {
+		i := i
+		sched.Go(fmt.Sprintf("Q%d", i+1), func(t *compilegate.Task) {
+			t.Sleep(time.Duration(i) * 5 * time.Second)
+			c := gov.Begin(t, fmt.Sprintf("Q%d", i+1))
+			for c.Used() < peaks[i] {
+				if err := c.Alloc(10 * compilegate.MiB); err != nil {
+					break
+				}
+				cur[i] = c.Used()
+				t.Sleep(rates[i])
+			}
+			c.Finish()
+			cur[i] = 0
+		})
+	}
+	sched.Go("sampler", func(t *compilegate.Task) {
+		for t.Now() < 4*time.Minute {
+			series = append(series, samp{t.Now(), cur})
+			t.Sleep(5 * time.Second)
+		}
+	})
+	if err := sched.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println("  time      Q1(MiB)  Q2(MiB)  Q3(MiB)")
+	for _, s := range series {
+		fmt.Printf("  %7v  %7d  %7d  %7d\n", s.t,
+			s.v[0]/compilegate.MiB, s.v[1]/compilegate.MiB, s.v[2]/compilegate.MiB)
+	}
+	fmt.Println()
+}
+
+// throughputFigure runs the throttled and baseline configurations at the
+// given client count and prints both series (Figures 3, 4, 5).
+func throughputFigure(n, clients int, horizon, warmup time.Duration) {
+	fmt.Printf("== Figure %d: throughput, %d clients ==\n", n, clients)
+	run := func(throttled bool) *compilegate.BenchmarkResult {
+		o := compilegate.DefaultBenchmarkOptions(clients)
+		o.Horizon, o.Warmup = horizon, warmup
+		o.Throttled = throttled
+		r, err := compilegate.RunBenchmark(o)
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
+	th, ba := run(true), run(false)
+	fmt.Println("  time      throttled  non-throttled")
+	for i := range th.Series {
+		b := int64(0)
+		if i < len(ba.Series) {
+			b = ba.Series[i].V
+		}
+		fmt.Printf("  %6.0fs  %9d  %13d\n", th.Series[i].T.Seconds(), th.Series[i].V, b)
+	}
+	ratio, summary := harness.Compare(th, ba)
+	fmt.Printf("  ratio: %.2fx — %s\n\n", ratio, summary)
+}

@@ -1,0 +1,58 @@
+// salesbench runs the SALES benchmark (§5) at a chosen client count and
+// prints the throughput series, error taxonomy, and engine report.
+//
+// Usage:
+//
+//	salesbench [-clients 30] [-throttle=true] [-horizon 8h] [-warmup 3h]
+//	           [-scale 0.04] [-seed 1] [-workload sales]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"compilegate"
+)
+
+func main() {
+	clients := flag.Int("clients", 30, "concurrent database users")
+	throttle := flag.Bool("throttle", true, "enable compilation throttling")
+	horizon := flag.Duration("horizon", 8*time.Hour, "virtual run length")
+	warmup := flag.Duration("warmup", 3*time.Hour, "excluded warm-up prefix")
+	scale := flag.Float64("scale", 0.04, "catalog scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	wl := flag.String("workload", "sales", "workload: sales | tpch | oltp | mix")
+	flag.Parse()
+
+	o := compilegate.DefaultBenchmarkOptions(*clients)
+	o.Throttled = *throttle
+	o.Horizon = *horizon
+	o.Warmup = *warmup
+	o.Scale = *scale
+	o.Seed = *seed
+	o.Workload = *wl
+
+	res, err := compilegate.RunBenchmark(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "salesbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s clients=%d throttle=%v window=[%v,%v)\n",
+		*wl, *clients, *throttle, o.Warmup, o.Horizon)
+	fmt.Println("completions per slice:")
+	for _, p := range res.Series {
+		fmt.Printf("  t=%6.0fs  %d\n", p.T.Seconds(), p.V)
+	}
+	fmt.Printf("total completed: %d  (%.1f/hour)\n", res.Completed, res.Throughput())
+	fmt.Printf("errors: %v (in-window %d)\n", res.ErrorsByKind, res.Errors)
+	fmt.Printf("compile memory: mean %d MiB, max %d MiB; pool hit-rate %.1f%%\n",
+		res.CompileMemMean/compilegate.MiB, res.CompileMemMax/compilegate.MiB,
+		res.BufferPoolHitRate*100)
+	fmt.Printf("gateway timeouts: %d; best-effort plans: %d\n",
+		res.GatewayTimeouts, res.BestEffortPlans)
+	fmt.Println()
+	fmt.Print(res.Report)
+}

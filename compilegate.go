@@ -1,0 +1,177 @@
+// Package compilegate is a reproduction of "Managing Query Compilation
+// Memory Consumption to Improve DBMS Throughput" (Baryshnikov et al.,
+// CIDR 2007): a Memory Broker that arbitrates memory among DBMS
+// subcomponents, and a chain of memory monitors (gateways) that throttles
+// concurrent query compilations under memory pressure.
+//
+// The package exposes three layers:
+//
+//   - The governance primitives (Broker, GatewayChain, Governor) — usable
+//     on their own to throttle any memory-hungry admission problem.
+//   - A complete simulated DBMS (Server) — parser, Cascades-style
+//     optimizer, buffer pool, plan cache, execution engine with memory
+//     grants — running on a deterministic virtual clock.
+//   - The benchmark harness (RunBenchmark) that reproduces the paper's
+//     SALES experiments (Figures 2-5).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package compilegate
+
+import (
+	"time"
+
+	"compilegate/internal/broker"
+	"compilegate/internal/catalog"
+	"compilegate/internal/core"
+	"compilegate/internal/engine"
+	"compilegate/internal/gateway"
+	"compilegate/internal/harness"
+	"compilegate/internal/mem"
+	"compilegate/internal/vtime"
+)
+
+// Re-exported governance types: these are the paper's contribution and
+// the heart of the public API.
+type (
+	// Broker is the Memory Broker (§3): it samples component usage,
+	// detects trends, and issues grow/stable/shrink notifications with
+	// per-component targets when memory pressure is predicted.
+	Broker = broker.Broker
+	// BrokerConfig tunes trend detection and pressure thresholds.
+	BrokerConfig = broker.Config
+	// Notification is a broker verdict delivered to one component.
+	Notification = broker.Notification
+	// Decision is a broker verdict kind (Grow / Stable / Shrink).
+	Decision = broker.Decision
+
+	// GatewayChain is the ladder of memory monitors (§4, Figure 1).
+	GatewayChain = gateway.Chain
+	// GatewayConfig configures the monitor ladder.
+	GatewayConfig = gateway.Config
+	// GatewayLevel configures one monitor.
+	GatewayLevel = gateway.LevelConfig
+	// ErrGatewayTimeout is the throttle-induced timeout error.
+	ErrGatewayTimeout = gateway.ErrTimeout
+
+	// Governor binds the broker and the gateways into the compilation
+	// throttling policy; compilations allocate through it.
+	Governor = core.Governor
+	// GovernorOptions selects throttling features (§4.1 extensions
+	// included).
+	GovernorOptions = core.Options
+	// Compilation is one query compilation's session with the Governor.
+	Compilation = core.Compilation
+
+	// Budget is the simulated machine memory budget.
+	Budget = mem.Budget
+	// Tracker accounts one component's memory against a Budget.
+	Tracker = mem.Tracker
+
+	// Scheduler is the deterministic virtual-time scheduler that hosts
+	// simulations.
+	Scheduler = vtime.Scheduler
+	// Task is a cooperative thread of execution under a Scheduler.
+	Task = vtime.Task
+
+	// Server is the fully assembled simulated DBMS.
+	Server = engine.Server
+	// ServerConfig assembles a Server.
+	ServerConfig = engine.Config
+
+	// Catalog describes a database schema.
+	Catalog = catalog.Catalog
+
+	// BenchmarkOptions selects a paper experiment configuration.
+	BenchmarkOptions = harness.Options
+	// BenchmarkResult carries one run's measurements.
+	BenchmarkResult = harness.Result
+)
+
+// Byte-size helpers re-exported for configuration literals.
+const (
+	KiB = mem.KiB
+	MiB = mem.MiB
+	GiB = mem.GiB
+)
+
+// ErrOutOfMemory is the simulated machine's allocation failure.
+var ErrOutOfMemory = mem.ErrOutOfMemory
+
+// NewScheduler creates a virtual-time scheduler.
+func NewScheduler() *Scheduler { return vtime.NewScheduler() }
+
+// NewBudget creates a simulated memory budget of total bytes.
+func NewBudget(total int64) *Budget { return mem.NewBudget(total) }
+
+// NewBroker creates a Memory Broker over budget.
+func NewBroker(cfg BrokerConfig, budget *Budget) *Broker { return broker.New(cfg, budget) }
+
+// DefaultBrokerConfig returns the calibrated broker tuning.
+func DefaultBrokerConfig() BrokerConfig { return broker.DefaultConfig() }
+
+// NewGatewayChain builds a monitor ladder.
+func NewGatewayChain(cfg GatewayConfig) (*GatewayChain, error) { return gateway.NewChain(cfg) }
+
+// DefaultGatewayConfig returns the paper's three-monitor ladder for a
+// machine with the given CPU count and contested memory size.
+func DefaultGatewayConfig(cpus int, contestedBytes int64) GatewayConfig {
+	return gateway.DefaultConfig(cpus, contestedBytes)
+}
+
+// NewGovernor creates a compilation governor charging tracker.
+func NewGovernor(opts GovernorOptions, tracker *Tracker) (*Governor, error) {
+	return core.NewGovernor(opts, tracker)
+}
+
+// DefaultGovernorOptions enables the full §4 + §4.1 feature set.
+func DefaultGovernorOptions(cpus int, totalMem int64) GovernorOptions {
+	return core.DefaultOptions(cpus, totalMem)
+}
+
+// NewServer assembles a simulated DBMS over cat inside sched.
+func NewServer(cfg ServerConfig, cat *Catalog, sched *Scheduler) (*Server, error) {
+	return engine.New(cfg, cat, sched)
+}
+
+// DefaultServerConfig reproduces the paper's testbed with throttling on.
+func DefaultServerConfig() ServerConfig { return engine.DefaultConfig() }
+
+// NewSalesCatalog builds the SALES data-mart schema at the given scale
+// (1.0 = the paper's 524 GB mart with a >400M-row fact table).
+func NewSalesCatalog(scale float64) *Catalog {
+	return catalog.NewSales(catalog.SalesConfig{Scale: scale, ExtentBytes: 8 * MiB})
+}
+
+// RunBenchmark executes one paper experiment configuration end to end in
+// virtual time and returns its measurements.
+func RunBenchmark(o BenchmarkOptions) (*BenchmarkResult, error) { return harness.Run(o) }
+
+// DefaultBenchmarkOptions returns the SALES configuration at the given
+// client count (the paper uses 30, 35 and 40) with throttling enabled.
+func DefaultBenchmarkOptions(clients int) BenchmarkOptions {
+	return harness.DefaultOptions(clients)
+}
+
+// CompareRuns renders the throttled-vs-baseline comparison of Figures 3-5
+// and returns the throughput improvement ratio.
+func CompareRuns(throttled, baseline *BenchmarkResult) (float64, string) {
+	return harness.Compare(throttled, baseline)
+}
+
+// Sanity re-exports so the constants are reachable without the internal
+// import path.
+const (
+	Grow   = broker.Grow
+	Stable = broker.Stable
+	Shrink = broker.Shrink
+)
+
+// Version of the reproduction.
+const Version = "1.0.0"
+
+// DefaultMeasurementWindow returns the paper's figure window
+// (10800 s - 28800 s).
+func DefaultMeasurementWindow() (from, to time.Duration) {
+	return 3 * time.Hour, 8 * time.Hour
+}

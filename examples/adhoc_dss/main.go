@@ -1,0 +1,50 @@
+// adhoc_dss runs a short SALES-style ad-hoc decision-support scenario —
+// the workload from the paper's §5 — against the full simulated engine
+// and prints the throughput series and component report, comparing
+// throttled and unthrottled runs.
+//
+// Run with: go run ./examples/adhoc_dss
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"compilegate"
+)
+
+func main() {
+	run := func(throttled bool) *compilegate.BenchmarkResult {
+		o := compilegate.DefaultBenchmarkOptions(30)
+		o.Horizon = 90 * time.Minute // shortened demo window
+		o.Warmup = 15 * time.Minute
+		o.Throttled = throttled
+		res, err := compilegate.RunBenchmark(o)
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+
+	fmt.Println("running throttled configuration (30 clients, SALES)...")
+	th := run(true)
+	fmt.Println("running unthrottled baseline...")
+	ba := run(false)
+
+	fmt.Println("\ncompletions per 10-minute slice:")
+	fmt.Println("  time      throttled  baseline")
+	for i := range th.Series {
+		b := int64(0)
+		if i < len(ba.Series) {
+			b = ba.Series[i].V
+		}
+		fmt.Printf("  %7v  %9d  %8d\n", th.Series[i].T, th.Series[i].V, b)
+	}
+	_, summary := compilegate.CompareRuns(th, ba)
+	fmt.Println("\n" + summary)
+	fmt.Printf("throttled: compile-mem mean %d MiB (max %d MiB), pool hit-rate %.0f%%, errors %v\n",
+		th.CompileMemMean/compilegate.MiB, th.CompileMemMax/compilegate.MiB,
+		th.BufferPoolHitRate*100, th.ErrorsByKind)
+	fmt.Printf("baseline : pool hit-rate %.0f%%, errors %v\n",
+		ba.BufferPoolHitRate*100, ba.ErrorsByKind)
+}

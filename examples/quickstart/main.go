@@ -1,0 +1,61 @@
+// Quickstart: govern three concurrent "compilations" with the paper's
+// memory monitors and watch the broker and gateways at work.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"compilegate"
+)
+
+func main() {
+	sched := compilegate.NewScheduler()
+	budget := compilegate.NewBudget(1 * compilegate.GiB)
+
+	// Three-monitor ladder for a 4-CPU machine contending over 1 GiB.
+	opts := compilegate.DefaultGovernorOptions(4, budget.Total())
+	gov, err := compilegate.NewGovernor(opts, budget.NewTracker("compile"))
+	if err != nil {
+		panic(err)
+	}
+
+	// A broker arbitrating compile memory against a second consumer.
+	brk := compilegate.NewBroker(compilegate.DefaultBrokerConfig(), budget)
+	gov.AttachBroker(brk, 1.0, 0)
+	other := budget.NewTracker("cache")
+	brk.Register("cache", 1.0, 0, other.Used, nil)
+	other.MustReserve(600 * compilegate.MiB) // preexisting pressure
+
+	// Three compilations racing: each allocates in 16 MiB steps up to its
+	// peak, then frees everything. The big one crosses the "big" gate and
+	// serializes.
+	peaks := []int64{120 * compilegate.MiB, 180 * compilegate.MiB, 400 * compilegate.MiB}
+	for i, peak := range peaks {
+		i, peak := i, peak
+		sched.Go(fmt.Sprintf("q%d", i+1), func(t *compilegate.Task) {
+			t.Sleep(time.Duration(i) * time.Second)
+			c := gov.Begin(t, fmt.Sprintf("q%d", i+1))
+			for c.Used() < peak {
+				if err := c.Alloc(16 * compilegate.MiB); err != nil {
+					fmt.Printf("[%8v] q%d aborted: %v\n", t.Now(), i+1, err)
+					return
+				}
+				t.Sleep(2 * time.Second) // optimization work
+				brk.Tick(t.Now())
+			}
+			fmt.Printf("[%8v] q%d compiled with %d MiB (waited %v at gates)\n",
+				t.Now(), i+1, c.Peak()/compilegate.MiB, c.GateWait())
+			c.Finish()
+		})
+	}
+	if err := sched.Run(); err != nil {
+		panic(err)
+	}
+
+	fmt.Println()
+	fmt.Print(gov.Report())
+	fmt.Print(brk.Report())
+}

@@ -1,0 +1,304 @@
+// Package bufferpool implements the database page buffer pool: a CLOCK
+// cache of extents charged against the machine memory budget, with the
+// shrink support the Memory Broker relies on and a simulated disk behind
+// misses.
+//
+// The pool grows on demand (caching every extent it reads) until the
+// budget or its broker target stops it; under pressure it both refuses to
+// grow and releases frames. Disk reads contend on a channel semaphore so
+// aggregate physical-I/O bandwidth is bounded like the paper's RAID
+// array.
+package bufferpool
+
+import (
+	"fmt"
+	"time"
+
+	"compilegate/internal/mem"
+	"compilegate/internal/storage"
+	"compilegate/internal/vtime"
+)
+
+// Config tunes the pool.
+type Config struct {
+	// ExtentBytes is the frame size (matches the catalog's extent size).
+	ExtentBytes int64
+	// DiskLatency is the time to read one extent from disk.
+	DiskLatency time.Duration
+	// DiskChannels bounds concurrent extent reads (I/O bandwidth =
+	// DiskChannels * ExtentBytes / DiskLatency).
+	DiskChannels int
+	// HitLatency is the cost of serving an extent from memory.
+	HitLatency time.Duration
+	// MinBytes is the floor the pool never shrinks below.
+	MinBytes int64
+}
+
+// DefaultConfig models the paper's testbed: a 2-channel Ultra3 SCSI
+// array reading 8 MiB extents at ~160 MB/s per channel.
+func DefaultConfig() Config {
+	return Config{
+		ExtentBytes:  8 << 20,
+		DiskLatency:  200 * time.Millisecond,
+		DiskChannels: 2,
+		HitLatency:   200 * time.Microsecond,
+		MinBytes:     64 << 20,
+	}
+}
+
+type frame struct {
+	key    storage.ExtentKey
+	ref    bool
+	pinned int
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	cfg     Config
+	tracker *mem.Tracker
+	disk    *vtime.Semaphore
+
+	frames map[storage.ExtentKey]*frame
+	clock  []*frame // ring
+	hand   int
+
+	target int64 // broker target; 0 = unlimited (budget still binds)
+
+	hits, misses, evictions uint64
+	passthrough             uint64 // reads served without caching
+}
+
+// New creates a pool charging frames to tracker.
+func New(cfg Config, tracker *mem.Tracker) *Pool {
+	if cfg.ExtentBytes <= 0 {
+		panic("bufferpool: non-positive extent size")
+	}
+	if cfg.DiskChannels <= 0 {
+		cfg.DiskChannels = 1
+	}
+	return &Pool{
+		cfg:     cfg,
+		tracker: tracker,
+		disk:    vtime.NewSemaphore("disk", cfg.DiskChannels),
+		frames:  make(map[storage.ExtentKey]*frame),
+	}
+}
+
+// Bytes returns the pool's current size.
+func (p *Pool) Bytes() int64 { return p.tracker.Used() }
+
+// Frames returns the number of cached extents.
+func (p *Pool) Frames() int { return len(p.frames) }
+
+// Hits and Misses return the access counters.
+func (p *Pool) Hits() uint64   { return p.hits }
+func (p *Pool) Misses() uint64 { return p.misses }
+
+// Evictions returns how many frames were evicted.
+func (p *Pool) Evictions() uint64 { return p.evictions }
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (p *Pool) HitRate() float64 {
+	t := p.hits + p.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(t)
+}
+
+// SetTarget installs the broker's target; the pool evicts down to it and
+// will not grow beyond it. Zero clears the target.
+func (p *Pool) SetTarget(target int64) {
+	p.target = target
+	if target > 0 && p.Bytes() > target {
+		p.Shrink(p.Bytes() - target)
+	}
+}
+
+// Target returns the current broker target.
+func (p *Pool) Target() int64 { return p.target }
+
+// Shrink releases up to want bytes of unpinned frames (oldest-clock
+// first) and returns the bytes actually freed. It is the pool's
+// mem.Reclaimer and broker shrink handler.
+func (p *Pool) Shrink(want int64) int64 {
+	var freed int64
+	floor := p.cfg.MinBytes
+	for freed < want && p.Bytes()-freed > floor {
+		f := p.victim()
+		if f == nil {
+			break
+		}
+		p.drop(f)
+		freed += p.cfg.ExtentBytes
+	}
+	if freed > 0 {
+		p.tracker.Release(freed)
+	}
+	return freed
+}
+
+// Read fetches one extent on behalf of task t, simulating memory or disk
+// latency, and reports whether it was a hit. Misses are cached when the
+// budget and target allow; otherwise the read passes through uncached.
+func (p *Pool) Read(t *vtime.Task, key storage.ExtentKey) bool {
+	if f, ok := p.frames[key]; ok {
+		p.hits++
+		f.ref = true
+		t.Sleep(p.cfg.HitLatency)
+		return true
+	}
+	p.misses++
+	// Physical read: contend for a disk channel.
+	p.disk.Acquire(t)
+	t.Sleep(p.cfg.DiskLatency)
+	p.disk.Release()
+
+	p.admit(t, key)
+	return false
+}
+
+// ReadMany fetches a batch of extents, amortizing scheduler events: all
+// hits are charged as one sleep, misses go through the disk individually.
+// It returns the number of hits.
+func (p *Pool) ReadMany(t *vtime.Task, keys []storage.ExtentKey) int {
+	hits := 0
+	var missKeys []storage.ExtentKey
+	for _, k := range keys {
+		if f, ok := p.frames[k]; ok {
+			p.hits++
+			f.ref = true
+			hits++
+		} else {
+			p.misses++
+			missKeys = append(missKeys, k)
+		}
+	}
+	if hits > 0 {
+		t.Sleep(time.Duration(hits) * p.cfg.HitLatency)
+	}
+	for _, k := range missKeys {
+		p.disk.Acquire(t)
+		t.Sleep(p.cfg.DiskLatency)
+		p.disk.Release()
+		p.admit(t, k)
+	}
+	return hits
+}
+
+// admit tries to cache a just-read extent.
+func (p *Pool) admit(t *vtime.Task, key storage.ExtentKey) {
+	if _, ok := p.frames[key]; ok {
+		return // racing reader cached it while we slept on disk
+	}
+	// Respect the broker target by evicting an old frame to make room.
+	if p.target > 0 && p.Bytes()+p.cfg.ExtentBytes > p.target {
+		if v := p.victim(); v != nil {
+			p.drop(v)
+			p.tracker.Release(p.cfg.ExtentBytes)
+		} else {
+			p.passthrough++
+			return
+		}
+	}
+	if err := p.tracker.Reserve(p.cfg.ExtentBytes); err != nil {
+		// Budget exhausted even after global reclaim: try evicting our
+		// own coldest frame; else serve uncached.
+		if v := p.victim(); v != nil {
+			p.drop(v)
+			// Reuse the freed reservation for the new frame.
+			f := &frame{key: key, ref: true}
+			p.frames[key] = f
+			p.clock = append(p.clock, f)
+			return
+		}
+		p.passthrough++
+		return
+	}
+	f := &frame{key: key, ref: true}
+	p.frames[key] = f
+	p.clock = append(p.clock, f)
+}
+
+// victim runs the CLOCK sweep and returns an evictable frame (or nil).
+func (p *Pool) victim() *frame {
+	n := len(p.clock)
+	if n == 0 {
+		return nil
+	}
+	for sweep := 0; sweep < 2*n; sweep++ {
+		if p.hand >= len(p.clock) {
+			p.hand = 0
+		}
+		f := p.clock[p.hand]
+		p.hand++
+		if f.pinned > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// drop removes a frame from the pool structures (not the tracker).
+func (p *Pool) drop(f *frame) {
+	delete(p.frames, f.key)
+	for i, c := range p.clock {
+		if c == f {
+			p.clock = append(p.clock[:i], p.clock[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			break
+		}
+	}
+	p.evictions++
+}
+
+// ExtentBytes returns the frame size.
+func (p *Pool) ExtentBytes() int64 { return p.cfg.ExtentBytes }
+
+// DiskDelay occupies a disk channel for d of virtual time on behalf of t
+// (spill writes/reads and other raw I/O that bypasses the cache).
+func (p *Pool) DiskDelay(t *vtime.Task, d time.Duration) {
+	for d > 0 {
+		chunk := p.cfg.DiskLatency
+		if chunk <= 0 || chunk > d {
+			chunk = d
+		}
+		p.disk.Acquire(t)
+		t.Sleep(chunk)
+		p.disk.Release()
+		d -= chunk
+	}
+}
+
+// Contains reports whether the extent is cached (for tests).
+func (p *Pool) Contains(key storage.ExtentKey) bool {
+	_, ok := p.frames[key]
+	return ok
+}
+
+// Pin prevents eviction of a cached extent; no-op when absent.
+func (p *Pool) Pin(key storage.ExtentKey) {
+	if f, ok := p.frames[key]; ok {
+		f.pinned++
+	}
+}
+
+// Unpin releases a pin.
+func (p *Pool) Unpin(key storage.ExtentKey) {
+	if f, ok := p.frames[key]; ok && f.pinned > 0 {
+		f.pinned--
+	}
+}
+
+// String summarizes the pool.
+func (p *Pool) String() string {
+	return fmt.Sprintf("bufferpool: %s (%d frames), hit-rate %.1f%%, evictions %d, passthrough %d",
+		mem.FormatBytes(p.Bytes()), p.Frames(), p.HitRate()*100, p.evictions, p.passthrough)
+}

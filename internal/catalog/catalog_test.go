@@ -1,0 +1,125 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSalesShape(t *testing.T) {
+	c := NewSales(DefaultSalesConfig())
+	fact := c.Table("sales_fact")
+	if fact == nil {
+		t.Fatal("no fact table")
+	}
+	if fact.Rows < 400_000_000 {
+		t.Fatalf("fact rows = %d, paper says >400M", fact.Rows)
+	}
+	totalGB := float64(c.TotalBytes()) / 1e9
+	if totalGB < 495 || totalGB > 555 {
+		t.Fatalf("database size = %.0f GB, paper says 524 GB", totalGB)
+	}
+	if len(c.Tables()) < 15 {
+		t.Fatalf("only %d tables; need a rich snowflake for 15-20 join queries", len(c.Tables()))
+	}
+	// The join graph must connect enough tables for 15-20 join queries.
+	if len(c.FKs()) < 15 {
+		t.Fatalf("only %d FK edges", len(c.FKs()))
+	}
+}
+
+func TestSalesScaling(t *testing.T) {
+	small := NewSales(SalesConfig{Scale: 0.001, ExtentBytes: 8 << 20})
+	big := NewSales(SalesConfig{Scale: 1.0, ExtentBytes: 8 << 20})
+	if small.Table("sales_fact").Rows >= big.Table("sales_fact").Rows {
+		t.Fatal("scaling did not reduce fact rows")
+	}
+	// Tiny dimensions never scale below 1 row.
+	for _, tb := range small.Tables() {
+		if tb.Rows < 1 {
+			t.Fatalf("table %s has %d rows", tb.Name, tb.Rows)
+		}
+	}
+}
+
+func TestFKLookup(t *testing.T) {
+	c := NewSales(DefaultSalesConfig())
+	if _, ok := c.FK("sales_fact", "dim_product"); !ok {
+		t.Fatal("fact->product FK missing")
+	}
+	if _, ok := c.FK("dim_product", "sales_fact"); !ok {
+		t.Fatal("FK lookup not symmetric")
+	}
+	if _, ok := c.FK("dim_product", "dim_customer"); ok {
+		t.Fatal("phantom FK between unrelated dimensions")
+	}
+}
+
+func TestExtents(t *testing.T) {
+	c := New(8 << 20)
+	tb := c.AddTable(&Table{Name: "t", Rows: 1, RowBytes: 10})
+	if c.Extents(tb) != 1 {
+		t.Fatalf("tiny table extents = %d, want 1", c.Extents(tb))
+	}
+	tb2 := c.AddTable(&Table{Name: "t2", Rows: 1 << 20, RowBytes: 16}) // 16 MiB
+	if c.Extents(tb2) != 2 {
+		t.Fatalf("16MiB/8MiB extents = %d, want 2", c.Extents(tb2))
+	}
+}
+
+func TestDuplicateTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddTable did not panic")
+		}
+	}()
+	c := New(8 << 20)
+	c.AddTable(&Table{Name: "x", Rows: 1, RowBytes: 1})
+	c.AddTable(&Table{Name: "x", Rows: 1, RowBytes: 1})
+}
+
+func TestColumnAndIndexLookup(t *testing.T) {
+	c := NewSales(DefaultSalesConfig())
+	fact := c.Table("sales_fact")
+	if fact.Column("date_id") == nil {
+		t.Fatal("date_id column missing")
+	}
+	if fact.Column("nope") != nil {
+		t.Fatal("phantom column")
+	}
+	if !fact.HasIndexOn("date_id") {
+		t.Fatal("ix_sales_date not found by HasIndexOn")
+	}
+	if fact.HasIndexOn("amount_cents") {
+		t.Fatal("phantom index")
+	}
+}
+
+func TestTPCHAndOLTP(t *testing.T) {
+	h := NewTPCHLike(1.0, 8<<20)
+	if len(h.Tables()) != 8 {
+		t.Fatalf("tpch tables = %d, want 8", len(h.Tables()))
+	}
+	if h.Table("lineitem") == nil || h.Table("region") == nil {
+		t.Fatal("tpch tables missing")
+	}
+	o := NewOLTPLike(8 << 20)
+	if len(o.Tables()) != 4 {
+		t.Fatalf("oltp tables = %d, want 4", len(o.Tables()))
+	}
+}
+
+func TestString(t *testing.T) {
+	c := NewOLTPLike(8 << 20)
+	if s := c.String(); !strings.Contains(s, "warehouse") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTableIDsDense(t *testing.T) {
+	c := NewSales(DefaultSalesConfig())
+	for i, tb := range c.Tables() {
+		if tb.ID != i {
+			t.Fatalf("table %s has ID %d at position %d", tb.Name, tb.ID, i)
+		}
+	}
+}

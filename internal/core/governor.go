@@ -1,0 +1,275 @@
+// Package core implements the paper's primary contribution: the
+// compilation Governor, which binds the Memory Broker (§3) to the
+// gateway chain of memory monitors (§4) and exposes the per-compilation
+// protocol the optimizer uses.
+//
+// Every query compilation opens a Compilation handle. All optimizer memory
+// goes through Compilation.Alloc, which (a) charges the compile-memory
+// tracker against the machine budget and (b) reports the new total to the
+// gateway ticket, blocking the compiling task at a monitor when its
+// category's concurrency is exhausted. The governor listens to broker
+// notifications to adjust dynamic gate thresholds and to raise the
+// best-effort-plan signal when memory exhaustion is predicted (§4.1).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"compilegate/internal/broker"
+	"compilegate/internal/gateway"
+	"compilegate/internal/mem"
+	"compilegate/internal/vtime"
+)
+
+// Options configures a Governor.
+type Options struct {
+	// Enabled turns compilation throttling on. When false the governor
+	// only does memory accounting — the paper's "non-throttled" baseline.
+	Enabled bool
+	// Gateways configures the monitor chain; zero value uses
+	// gateway.DefaultConfig for the machine.
+	Gateways gateway.Config
+	// DynamicThresholds enables §4.1's broker-target-driven thresholds.
+	DynamicThresholds bool
+	// BestEffort enables §4.1's best-plan-so-far on predicted exhaustion.
+	BestEffort bool
+}
+
+// DefaultOptions returns the full production feature set for a machine
+// with the given CPU count and physical memory.
+func DefaultOptions(cpus int, totalMem int64) Options {
+	return Options{
+		Enabled:           true,
+		Gateways:          gateway.DefaultConfig(cpus, totalMem),
+		DynamicThresholds: true,
+		BestEffort:        true,
+	}
+}
+
+// Governor coordinates all concurrent compilations.
+type Governor struct {
+	opts    Options
+	tracker *mem.Tracker
+	chain   *gateway.Chain
+
+	active     int
+	exhaustion bool
+	started    uint64
+	finished   uint64
+	aborted    uint64
+	bestEffort uint64 // compilations cut short by the exhaustion signal
+	peakActive int
+}
+
+// NewGovernor creates a governor charging compile memory to tracker.
+func NewGovernor(opts Options, tracker *mem.Tracker) (*Governor, error) {
+	g := &Governor{opts: opts, tracker: tracker}
+	if opts.Enabled {
+		chain, err := gateway.NewChain(opts.Gateways)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		g.chain = chain
+	}
+	return g, nil
+}
+
+// AttachBroker registers the governor as the "compile" component of b.
+// weight and min follow broker.Register semantics.
+func (g *Governor) AttachBroker(b *broker.Broker, weight float64, min int64) {
+	b.Register("compile", weight, min, g.tracker.Used, g.OnBrokerNotice)
+}
+
+// OnBrokerNotice applies a broker notification: it installs the
+// compile-memory target on the gateway chain (when dynamic thresholds are
+// enabled) and latches the exhaustion signal for best-effort plans.
+// Without machine-wide pressure the static thresholds are restored — the
+// broker "takes no action" when memory is plentiful.
+func (g *Governor) OnBrokerNotice(n broker.Notification) {
+	if g.chain != nil && g.opts.DynamicThresholds {
+		if n.Pressure {
+			g.chain.SetTarget(n.Target)
+		} else {
+			g.chain.SetTarget(0)
+		}
+	}
+	g.exhaustion = n.Exhaustion
+}
+
+// Enabled reports whether throttling is active.
+func (g *Governor) Enabled() bool { return g.opts.Enabled }
+
+// Chain exposes the gateway chain (nil when throttling is disabled).
+func (g *Governor) Chain() *gateway.Chain { return g.chain }
+
+// Tracker returns the compile-memory tracker.
+func (g *Governor) Tracker() *mem.Tracker { return g.tracker }
+
+// Active returns the number of compilations currently open.
+func (g *Governor) Active() int { return g.active }
+
+// PeakActive returns the maximum concurrent compilations observed.
+func (g *Governor) PeakActive() int { return g.peakActive }
+
+// Started returns the number of compilations begun.
+func (g *Governor) Started() uint64 { return g.started }
+
+// Finished returns the number of compilations completed.
+func (g *Governor) Finished() uint64 { return g.finished }
+
+// Aborted returns the number of compilations aborted (timeout or OOM).
+func (g *Governor) Aborted() uint64 { return g.aborted }
+
+// BestEffortCount returns how many compilations were cut short by the
+// exhaustion signal, returning best-effort plans.
+func (g *Governor) BestEffortCount() uint64 { return g.bestEffort }
+
+// Compilation is one query compilation's session with the governor.
+type Compilation struct {
+	g      *Governor
+	task   *vtime.Task
+	name   string
+	ticket *gateway.Ticket
+	used   int64
+	peak   int64
+	opened time.Duration
+	closed bool
+	cut    bool // best-effort signal consumed
+}
+
+// Begin opens a compilation handle for the given task. name is used in
+// diagnostics.
+func (g *Governor) Begin(task *vtime.Task, name string) *Compilation {
+	c := &Compilation{g: g, task: task, name: name, opened: task.Now()}
+	if g.chain != nil {
+		c.ticket = g.chain.NewTicket()
+	}
+	g.active++
+	if g.active > g.peakActive {
+		g.peakActive = g.active
+	}
+	g.started++
+	return c
+}
+
+// Used returns the compilation's current simulated memory.
+func (c *Compilation) Used() int64 { return c.used }
+
+// Peak returns the compilation's peak simulated memory.
+func (c *Compilation) Peak() int64 { return c.peak }
+
+// GateWait returns the time this compilation has spent blocked at gates.
+func (c *Compilation) GateWait() time.Duration {
+	if c.ticket == nil {
+		return 0
+	}
+	return c.ticket.WaitTime()
+}
+
+// Alloc charges n bytes of compilation memory. The call may block the
+// compiling task at a memory monitor. It returns mem.ErrOutOfMemory (via
+// the budget) or *gateway.ErrTimeout; either way the compilation has been
+// rolled back and must abort (or return a best-effort plan it already
+// holds).
+func (c *Compilation) Alloc(n int64) error {
+	if c.closed {
+		panic("core: Alloc on closed compilation " + c.name)
+	}
+	// Gate first: the monitor must admit the growth before the memory is
+	// actually taken, so a blocked compilation holds its current memory
+	// but does not keep growing — exactly the paper's "restrict future
+	// memory allocations" semantics.
+	if c.ticket != nil {
+		if err := c.ticket.Update(c.task, c.used+n); err != nil {
+			c.fail()
+			return err
+		}
+	}
+	if err := c.g.tracker.Reserve(n); err != nil {
+		c.fail()
+		return err
+	}
+	c.used += n
+	if c.used > c.peak {
+		c.peak = c.used
+	}
+	return nil
+}
+
+// Free returns n bytes mid-compilation (e.g. a discarded subtree).
+func (c *Compilation) Free(n int64) {
+	if n > c.used {
+		panic("core: Free exceeds compilation usage")
+	}
+	c.used -= n
+	c.g.tracker.Release(n)
+}
+
+// ShouldYieldBestEffort reports whether the compilation should stop
+// exploring and return the best complete plan found so far. It returns
+// true at most once per compilation, when best-effort is enabled and the
+// broker predicts memory exhaustion.
+func (c *Compilation) ShouldYieldBestEffort() bool {
+	if !c.g.opts.BestEffort || c.cut || c.closed {
+		return false
+	}
+	if c.g.exhaustion {
+		c.cut = true
+		c.g.bestEffort++
+		return true
+	}
+	return false
+}
+
+// fail rolls back a compilation whose allocation was rejected.
+func (c *Compilation) fail() {
+	if c.closed {
+		return
+	}
+	c.release()
+	c.g.aborted++
+}
+
+// Finish completes the compilation successfully, releasing all memory and
+// gates. Idempotent with Abort/fail: only the first close counts.
+func (c *Compilation) Finish() {
+	if c.closed {
+		return
+	}
+	c.release()
+	c.g.finished++
+}
+
+// Abort terminates the compilation unsuccessfully (e.g. the client gave
+// up), releasing all memory and gates.
+func (c *Compilation) Abort() {
+	if c.closed {
+		return
+	}
+	c.release()
+	c.g.aborted++
+}
+
+func (c *Compilation) release() {
+	c.closed = true
+	if c.used > 0 {
+		c.g.tracker.Release(c.used)
+		c.used = 0
+	}
+	if c.ticket != nil {
+		c.ticket.Close()
+	}
+	c.g.active--
+}
+
+// Report summarizes governor counters.
+func (g *Governor) Report() string {
+	s := fmt.Sprintf("governor: enabled=%v started=%d finished=%d aborted=%d best-effort=%d peak-active=%d compile-mem=%s (peak %s)\n",
+		g.opts.Enabled, g.started, g.finished, g.aborted, g.bestEffort, g.peakActive,
+		mem.FormatBytes(g.tracker.Used()), mem.FormatBytes(g.tracker.Peak()))
+	if g.chain != nil {
+		s += g.chain.String()
+	}
+	return s
+}

@@ -1,0 +1,495 @@
+// Package engine assembles the full simulated DBMS: parser, plan cache,
+// governed optimizer, execution engine, buffer pool, memory broker, and
+// metrics — the system under test for every experiment in the paper.
+//
+// A Server runs inside one vtime.Scheduler. Client tasks call Submit,
+// which executes the complete query lifecycle:
+//
+//	parse → plan-cache probe → (compile under the governor) → cache →
+//	acquire execution grant → execute → record completion/error
+//
+// A housekeeping task ticks the Memory Broker, which redistributes memory
+// among the buffer pool, plan cache, compilations, and execution grants
+// when the machine comes under pressure.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"compilegate/internal/broker"
+	"compilegate/internal/bufferpool"
+	"compilegate/internal/catalog"
+	"compilegate/internal/core"
+	"compilegate/internal/executor"
+	"compilegate/internal/gateway"
+	"compilegate/internal/mem"
+	"compilegate/internal/metrics"
+	"compilegate/internal/optimizer"
+	"compilegate/internal/plan"
+	"compilegate/internal/plancache"
+	"compilegate/internal/sqlparser"
+	"compilegate/internal/stats"
+	"compilegate/internal/storage"
+	"compilegate/internal/vtime"
+)
+
+// Config assembles a Server. Zero values fall back to DefaultConfig.
+type Config struct {
+	// CPUs is the virtual processor count (paper: 8).
+	CPUs int
+	// MemoryBytes is physical memory (paper: 4 GiB).
+	MemoryBytes int64
+	// FixedOverheadBytes models the engine's non-negotiable footprint.
+	FixedOverheadBytes int64
+
+	// Throttle enables compilation throttling (the paper's feature; false
+	// reproduces the "non-throttled" baseline).
+	Throttle bool
+	// DynamicThresholds / BestEffort toggle the §4.1 extensions.
+	DynamicThresholds bool
+	BestEffort        bool
+	// GatewayOverride, when non-nil, replaces the default monitor ladder
+	// (used by the monitor-count ablation).
+	GatewayOverride *gateway.Config
+
+	// BrokerEnabled runs the Memory Broker (ablation A-5 turns throttling
+	// off but keeps the broker).
+	BrokerEnabled  bool
+	Broker         broker.Config
+	BrokerInterval time.Duration
+
+	BufferPool bufferpool.Config
+	Executor   executor.Config
+	Optimizer  optimizer.Config
+
+	// CompileTaskCPU converts one optimizer task into virtual CPU time.
+	CompileTaskCPU time.Duration
+	// CompileTaskWait is the non-CPU time per optimizer task (metadata
+	// fetches, latching); it stretches compilations without saturating
+	// the processors, matching the paper's 10-90 s compile profile.
+	CompileTaskWait time.Duration
+	// ExecGrantLimitFrac caps total concurrent execution-grant memory as
+	// a fraction of physical memory.
+	ExecGrantLimitFrac float64
+	// VASBytes bounds the address space that compilation, execution
+	// grants, and the plan cache contend for (the paper's testbed was a
+	// 32-bit server: its AWE-mapped buffer pool lived outside the ~2 GB
+	// user address space, everything else inside). 0 disables the bound.
+	VASBytes int64
+	// CPUQuantum is the processor-sharing quantum.
+	CPUQuantum time.Duration
+
+	// SliceDur is the metrics slice width (paper figures: 600 s).
+	SliceDur time.Duration
+
+	// Component weights/floors for broker target computation.
+	WeightBufferPool, WeightCompile, WeightExec, WeightPlanCache float64
+	MinBufferPool, MinCompile                                    int64
+}
+
+// DefaultConfig reproduces the paper's testbed with throttling fully
+// enabled.
+func DefaultConfig() Config {
+	return Config{
+		CPUs:               8,
+		MemoryBytes:        4 * mem.GiB,
+		FixedOverheadBytes: 200 * mem.MiB,
+		Throttle:           true,
+		DynamicThresholds:  true,
+		BestEffort:         true,
+		BrokerEnabled:      true,
+		Broker:             broker.DefaultConfig(),
+		BrokerInterval:     5 * time.Second,
+		BufferPool:         bufferpool.DefaultConfig(),
+		Executor:           executor.DefaultConfig(),
+		Optimizer:          optimizer.DefaultConfig(),
+		CompileTaskCPU:     1500 * time.Microsecond,
+		CompileTaskWait:    45 * time.Millisecond,
+		ExecGrantLimitFrac: 0.45,
+		VASBytes:           0,
+		CPUQuantum:         100 * time.Millisecond,
+		SliceDur:           10 * time.Minute,
+		WeightBufferPool:   1.0,
+		WeightCompile:      0.9,
+		WeightExec:         1.0,
+		WeightPlanCache:    0.15,
+		MinBufferPool:      128 * mem.MiB,
+		MinCompile:         64 * mem.MiB,
+	}
+}
+
+// Server is the simulated DBMS instance.
+type Server struct {
+	cfg    Config
+	sched  *vtime.Scheduler
+	budget *mem.Budget
+	cpu    *vtime.CPUSet
+
+	brk    *broker.Broker
+	vasBrk *broker.Broker
+	gov    *core.Governor
+	pool   *bufferpool.Pool
+	cache  *plancache.Cache
+	exec   *executor.Executor
+	opt    *optimizer.Optimizer
+	layout *storage.Layout
+
+	rec         *metrics.Recorder
+	compileHist *metrics.Histogram
+	execHist    *metrics.Histogram
+
+	// Component memory traces sampled every broker interval.
+	poolTrace, compileTrace, execTrace *metrics.Trace
+	activeCompileTrace                 *metrics.Trace
+
+	// compile-memory per-query profile (for the compile-memory
+	// experiments): sum/count/max in bytes.
+	compileMemSum, compileMemMax int64
+	compileMemN                  int64
+
+	closed bool
+}
+
+// New builds a Server over the catalog inside sched. It reserves the
+// fixed overhead, wires broker components and reclaimers, and starts the
+// housekeeping task (stop it with Close when the workload drains).
+func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, error) {
+	def := DefaultConfig()
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = def.CPUs
+	}
+	if cfg.MemoryBytes <= 0 {
+		cfg.MemoryBytes = def.MemoryBytes
+	}
+	if cfg.BrokerInterval <= 0 {
+		cfg.BrokerInterval = def.BrokerInterval
+	}
+	if cfg.SliceDur <= 0 {
+		cfg.SliceDur = def.SliceDur
+	}
+	if cfg.CompileTaskCPU <= 0 {
+		cfg.CompileTaskCPU = def.CompileTaskCPU
+	}
+	if cfg.CPUQuantum <= 0 {
+		cfg.CPUQuantum = def.CPUQuantum
+	}
+	if cfg.ExecGrantLimitFrac <= 0 {
+		cfg.ExecGrantLimitFrac = def.ExecGrantLimitFrac
+	}
+	if cfg.WeightBufferPool <= 0 {
+		cfg.WeightBufferPool = def.WeightBufferPool
+	}
+	if cfg.WeightCompile <= 0 {
+		cfg.WeightCompile = def.WeightCompile
+	}
+	if cfg.WeightExec <= 0 {
+		cfg.WeightExec = def.WeightExec
+	}
+	if cfg.WeightPlanCache <= 0 {
+		cfg.WeightPlanCache = def.WeightPlanCache
+	}
+	if cfg.BufferPool.ExtentBytes == 0 {
+		cfg.BufferPool = def.BufferPool
+	}
+	if cfg.Executor.CostUnitCPU == 0 {
+		cfg.Executor = def.Executor
+	}
+	if cfg.Optimizer.WorkBatch == 0 {
+		cfg.Optimizer = def.Optimizer
+	}
+	if cfg.BufferPool.ExtentBytes != cat.ExtentBytes {
+		return nil, fmt.Errorf("engine: buffer pool extent %d != catalog extent %d",
+			cfg.BufferPool.ExtentBytes, cat.ExtentBytes)
+	}
+
+	s := &Server{
+		cfg:         cfg,
+		sched:       sched,
+		budget:      mem.NewBudget(cfg.MemoryBytes),
+		cpu:         vtime.NewCPUSet(cfg.CPUs, cfg.CPUQuantum),
+		rec:         metrics.NewRecorder(cfg.SliceDur),
+		compileHist: metrics.NewHistogram(time.Second, 10*time.Second, 30*time.Second, 90*time.Second, 5*time.Minute),
+		execHist:    metrics.NewHistogram(10*time.Second, 30*time.Second, time.Minute, 5*time.Minute, 10*time.Minute, 30*time.Minute),
+
+		poolTrace:          metrics.NewTrace("bufferpool"),
+		compileTrace:       metrics.NewTrace("compile"),
+		execTrace:          metrics.NewTrace("exec"),
+		activeCompileTrace: metrics.NewTrace("active-compiles"),
+	}
+
+	overhead := s.budget.NewTracker("overhead")
+	if cfg.FixedOverheadBytes > 0 {
+		overhead.MustReserve(cfg.FixedOverheadBytes)
+	}
+
+	// The VAS group: compile, grants, and plan cache contend inside it;
+	// the buffer pool lives outside (AWE analogue).
+	var vas *mem.Group
+	if cfg.VASBytes > 0 {
+		vas = s.budget.NewGroup("vas", cfg.VASBytes)
+	}
+	inVAS := func(t *mem.Tracker) *mem.Tracker {
+		if vas != nil {
+			t.SetGroup(vas)
+		}
+		return t
+	}
+
+	// Subcomponents.
+	s.pool = bufferpool.New(cfg.BufferPool, s.budget.NewTracker("bufferpool"))
+	s.cache = plancache.New(inVAS(s.budget.NewTracker("plancache")))
+	s.layout = storage.NewLayout(cat)
+
+	govOpts := core.Options{
+		Enabled:           cfg.Throttle,
+		DynamicThresholds: cfg.DynamicThresholds,
+		BestEffort:        cfg.BestEffort,
+	}
+	// Gate thresholds are expressed against the contested region: the VAS
+	// when bounded, the whole machine otherwise.
+	contested := cfg.MemoryBytes
+	if cfg.VASBytes > 0 {
+		contested = cfg.VASBytes
+	}
+	if cfg.GatewayOverride != nil {
+		govOpts.Gateways = *cfg.GatewayOverride
+	} else {
+		govOpts.Gateways = gateway.DefaultConfig(cfg.CPUs, contested)
+	}
+	gov, err := core.NewGovernor(govOpts, inVAS(s.budget.NewTracker("compile")))
+	if err != nil {
+		return nil, err
+	}
+	s.gov = gov
+
+	execTracker := inVAS(s.budget.NewTracker("exec"))
+	execTracker.SetLimit(int64(cfg.ExecGrantLimitFrac * float64(contested)))
+	grants := executor.NewGrantManager(execTracker, cfg.Executor.GrantTimeout)
+	s.exec = executor.New(cfg.Executor, s.pool, s.layout, s.cpu, grants, cfg.Optimizer.Cost)
+
+	est := stats.NewEstimator(cat)
+	s.opt = optimizer.New(est, cfg.Optimizer)
+
+	// Reclaimers: only the plan cache yields memory synchronously (it is
+	// the cheapest cache to drop). The buffer pool gives memory back only
+	// through broker targets at broker cadence — instantaneous pool
+	// eviction on someone else's allocation is not how a lazywriter-based
+	// engine behaves, and modeling it graceful hides the paper's failure
+	// mode: allocations that outrun the broker fail with out-of-memory.
+	s.budget.RegisterReclaimer("plancache", 1, s.cache.Shrink)
+	s.budget.RegisterReclaimer("bufferpool", 2, s.pool.Shrink)
+	if vas != nil {
+		// Inside the VAS only the plan cache is reclaimable.
+		vas.RegisterReclaimer("plancache", 1, s.cache.Shrink)
+	}
+
+	if cfg.BrokerEnabled {
+		// The machine-level broker arbitrates the buffer pool against
+		// everything else; when a VAS is configured, a second broker
+		// arbitrates the contested region among compile / grants / plan
+		// cache — that broker's compile target drives the gate ladder.
+		s.brk = broker.New(cfg.Broker, s.budget)
+		s.brk.Register("bufferpool", cfg.WeightBufferPool, cfg.MinBufferPool,
+			s.pool.Bytes, func(n broker.Notification) {
+				if n.Pressure {
+					s.pool.SetTarget(n.Target)
+				} else {
+					s.pool.SetTarget(0)
+				}
+			})
+		if vas != nil {
+			s.vasBrk = broker.New(cfg.Broker, vas)
+		} else {
+			s.vasBrk = s.brk
+		}
+		s.vasBrk.Register("plancache", cfg.WeightPlanCache, 0,
+			s.cache.Bytes, func(n broker.Notification) {
+				if n.Pressure {
+					s.cache.SetTarget(n.Target)
+				} else {
+					s.cache.SetTarget(0)
+				}
+			})
+		s.gov.AttachBroker(s.vasBrk, cfg.WeightCompile, cfg.MinCompile)
+		s.vasBrk.Register("exec", cfg.WeightExec, 0, execTracker.Used, nil)
+	}
+
+	sched.Go("housekeeping", s.housekeeping)
+	return s, nil
+}
+
+// housekeeping ticks the broker and prods the grant queue until Close.
+func (s *Server) housekeeping(t *vtime.Task) {
+	for !s.closed {
+		t.Sleep(s.cfg.BrokerInterval)
+		if s.brk != nil {
+			s.brk.Tick(t.Now())
+		}
+		if s.vasBrk != nil && s.vasBrk != s.brk {
+			s.vasBrk.Tick(t.Now())
+		}
+		// Memory freed by finished compilations doesn't signal the grant
+		// queue on its own; give waiting grants a chance to retry.
+		s.exec.Grants().Kick()
+		s.poolTrace.Add(t.Now(), s.pool.Bytes())
+		s.compileTrace.Add(t.Now(), s.gov.Tracker().Used())
+		s.execTrace.Add(t.Now(), s.exec.Grants().Tracker().Used())
+		s.activeCompileTrace.Add(t.Now(), int64(s.gov.Active()))
+	}
+}
+
+// Close stops the housekeeping task after in-flight work finishes. The
+// load generator's onAllDone callback is the intended caller.
+func (s *Server) Close() { s.closed = true }
+
+// Error kinds recorded per failed query.
+const (
+	ErrKindOOM            = "oom"
+	ErrKindGatewayTimeout = "gateway-timeout"
+	ErrKindGrantTimeout   = "grant-timeout"
+	ErrKindOther          = "other"
+)
+
+// classify maps an error to its metric kind.
+func classify(err error) string {
+	var gt *gateway.ErrTimeout
+	var et *executor.ErrGrantTimeout
+	switch {
+	case errors.Is(err, mem.ErrOutOfMemory):
+		return ErrKindOOM
+	case errors.As(err, &gt):
+		return ErrKindGatewayTimeout
+	case errors.As(err, &et):
+		return ErrKindGrantTimeout
+	default:
+		return ErrKindOther
+	}
+}
+
+// Submit runs one query end to end on behalf of the calling task. The
+// returned error (if any) has already been recorded in the metrics.
+func (s *Server) Submit(t *vtime.Task, sql string) error {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		s.rec.RecordError(t.Now(), ErrKindOther)
+		return err
+	}
+	fp := sqlparser.Fingerprint(sql)
+
+	p, cached := s.cache.Get(fp)
+	if !cached {
+		p, err = s.compile(t, q)
+		if err != nil {
+			s.rec.RecordError(t.Now(), classify(err))
+			return err
+		}
+		s.cache.Put(fp, p, t.Now())
+	}
+
+	// Execution: seed scan locality from the fingerprint so repeated
+	// templates overlap on hot regions but differ in detail.
+	rng := rand.New(rand.NewSource(int64(len(sql))*2654435761 + int64(fp[0])))
+	execStart := t.Now()
+	if _, err := s.exec.Execute(t, p, rng); err != nil {
+		s.rec.RecordError(t.Now(), classify(err))
+		return err
+	}
+	s.execHist.Observe(t.Now() - execStart)
+	s.rec.RecordCompletion(t.Now())
+	return nil
+}
+
+// compile optimizes q under the governor.
+func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
+	comp := s.gov.Begin(t, "compile")
+	start := t.Now()
+	p, err := s.opt.Optimize(q, optimizer.Hooks{
+		Charge: comp.Alloc,
+		Work: func(tasks int) {
+			s.cpu.Use(t, time.Duration(tasks)*s.cfg.CompileTaskCPU)
+			if s.cfg.CompileTaskWait > 0 {
+				t.Sleep(time.Duration(tasks) * s.cfg.CompileTaskWait)
+			}
+		},
+		BestEffort: comp.ShouldYieldBestEffort,
+	})
+	if err != nil {
+		// Alloc failures already rolled the compilation back; other
+		// errors (validation) abort explicitly. Both are idempotent.
+		comp.Abort()
+		return nil, err
+	}
+	comp.Finish()
+	s.compileHist.Observe(t.Now() - start)
+	s.compileMemSum += p.CompileBytes
+	s.compileMemN++
+	if p.CompileBytes > s.compileMemMax {
+		s.compileMemMax = p.CompileBytes
+	}
+	return p, nil
+}
+
+// Accessors for experiments and diagnostics.
+
+// Recorder returns the completion/error recorder.
+func (s *Server) Recorder() *metrics.Recorder { return s.rec }
+
+// Budget returns the machine memory budget.
+func (s *Server) Budget() *mem.Budget { return s.budget }
+
+// Broker returns the memory broker (nil when disabled).
+func (s *Server) Broker() *broker.Broker { return s.brk }
+
+// Governor returns the compilation governor.
+func (s *Server) Governor() *core.Governor { return s.gov }
+
+// BufferPool returns the buffer pool.
+func (s *Server) BufferPool() *bufferpool.Pool { return s.pool }
+
+// PlanCache returns the plan cache.
+func (s *Server) PlanCache() *plancache.Cache { return s.cache }
+
+// Executor returns the execution engine.
+func (s *Server) Executor() *executor.Executor { return s.exec }
+
+// Optimizer returns the optimizer.
+func (s *Server) Optimizer() *optimizer.Optimizer { return s.opt }
+
+// CPU returns the processor pool.
+func (s *Server) CPU() *vtime.CPUSet { return s.cpu }
+
+// CompileTimes returns the compile-latency histogram.
+func (s *Server) CompileTimes() *metrics.Histogram { return s.compileHist }
+
+// ExecTimes returns the execution-latency histogram.
+func (s *Server) ExecTimes() *metrics.Histogram { return s.execHist }
+
+// Traces returns the component memory traces sampled every broker
+// interval: buffer pool bytes, compile bytes, execution-grant bytes, and
+// the number of concurrently open compilations.
+func (s *Server) Traces() (pool, compile, exec, activeCompiles *metrics.Trace) {
+	return s.poolTrace, s.compileTrace, s.execTrace, s.activeCompileTrace
+}
+
+// CompileMemProfile returns (mean, max) per-query compile memory in bytes.
+func (s *Server) CompileMemProfile() (mean, max int64) {
+	if s.compileMemN == 0 {
+		return 0, 0
+	}
+	return s.compileMemSum / s.compileMemN, s.compileMemMax
+}
+
+// Report renders a diagnostic summary.
+func (s *Server) Report() string {
+	mean, maxB := s.CompileMemProfile()
+	r := fmt.Sprintf("engine: completed=%d errors=%v\n%s%s\n%s\ncompile-mem mean=%s max=%s\ncompile times: %s\n",
+		s.rec.Completed(), s.rec.Errors(), s.gov.Report(), s.pool.String(), s.cache.String(),
+		mem.FormatBytes(mean), mem.FormatBytes(maxB), s.compileHist.String())
+	if s.brk != nil {
+		r += s.brk.Report()
+	}
+	return r
+}

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"compilegate/internal/catalog"
+	"compilegate/internal/mem"
+	"compilegate/internal/vtime"
+	"compilegate/internal/workload"
+)
+
+func testServer(t *testing.T, mutate func(*Config)) (*Server, *vtime.Scheduler) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SliceDur = time.Minute
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sched := vtime.NewScheduler()
+	cat := catalog.NewSales(catalog.SalesConfig{Scale: 0.01, ExtentBytes: cfg.BufferPool.ExtentBytes})
+	srv, err := New(cfg, cat, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, sched
+}
+
+func TestSubmitLifecycle(t *testing.T) {
+	srv, sched := testServer(t, nil)
+	sql := "SELECT COUNT(*) FROM sales_fact JOIN dim_date ON sales_fact.date_id = dim_date.date_id WHERE sales_fact.date_id BETWEEN 100 AND 200 GROUP BY dim_date.year"
+	sched.Go("client", func(tk *vtime.Task) {
+		if err := srv.Submit(tk, sql); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Recorder().Completed() != 1 {
+		t.Fatalf("completed = %d", srv.Recorder().Completed())
+	}
+	if srv.Governor().Finished() != 1 {
+		t.Fatalf("compilations finished = %d", srv.Governor().Finished())
+	}
+	if srv.Governor().Tracker().Used() != 0 {
+		t.Fatal("compile memory leaked")
+	}
+	if srv.Executor().Grants().Tracker().Used() != 0 {
+		t.Fatal("grant leaked")
+	}
+	if mean, max := srv.CompileMemProfile(); mean <= 0 || max < mean {
+		t.Fatalf("compile mem profile mean=%d max=%d", mean, max)
+	}
+}
+
+func TestParseErrorRecorded(t *testing.T) {
+	srv, sched := testServer(t, nil)
+	sched.Go("client", func(tk *vtime.Task) {
+		if err := srv.Submit(tk, "DELETE FROM x"); err == nil {
+			t.Error("bad SQL accepted")
+		}
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Recorder().Errors()[ErrKindOther] != 1 {
+		t.Fatalf("errors = %v", srv.Recorder().Errors())
+	}
+}
+
+func TestPlanCacheHitSkipsCompile(t *testing.T) {
+	srv, sched := testServer(t, nil)
+	sql := "SELECT * FROM dim_channel WHERE dim_channel.channel_id = 3"
+	sched.Go("client", func(tk *vtime.Task) {
+		if err := srv.Submit(tk, sql); err != nil {
+			t.Error(err)
+		}
+		if err := srv.Submit(tk, sql); err != nil {
+			t.Error(err)
+		}
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Governor().Started() != 1 {
+		t.Fatalf("compilations = %d, want 1 (second was a cache hit)", srv.Governor().Started())
+	}
+	if srv.PlanCache().Hits() != 1 {
+		t.Fatalf("cache hits = %d", srv.PlanCache().Hits())
+	}
+}
+
+func TestUniquifiedQueriesDefeatCache(t *testing.T) {
+	srv, sched := testServer(t, nil)
+	sched.Go("client", func(tk *vtime.Task) {
+		_ = srv.Submit(tk, "SELECT * FROM dim_channel WHERE dim_channel.channel_id = 3 /* u1 */")
+		_ = srv.Submit(tk, "SELECT * FROM dim_channel WHERE dim_channel.channel_id = 3 /* u2 */")
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Governor().Started() != 2 {
+		t.Fatalf("compilations = %d, want 2 (uniquifier must defeat the cache)", srv.Governor().Started())
+	}
+}
+
+func TestCompileOOMClassified(t *testing.T) {
+	srv, sched := testServer(t, func(c *Config) {
+		// Tiny machine with almost everything pinned: the first sizable
+		// compilation must fail with out-of-memory.
+		c.MemoryBytes = 40 * mem.MiB
+		c.FixedOverheadBytes = 30 * mem.MiB
+	})
+	// A heavy snowflake query -> compile memory far beyond 300 MiB.
+	w := workload.NewSales()
+	sched.Go("client", func(tk *vtime.Task) {
+		var sawOOM bool
+		for i := 0; i < 12 && !sawOOM; i++ {
+			err := srv.Submit(tk, w.Next(newRand(int64(i))))
+			if err != nil && errors.Is(err, mem.ErrOutOfMemory) {
+				sawOOM = true
+			}
+		}
+		if !sawOOM {
+			t.Error("no OOM on a 300 MiB machine")
+		}
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Recorder().Errors()[ErrKindOOM] == 0 {
+		t.Fatalf("oom not recorded: %v", srv.Recorder().Errors())
+	}
+	if srv.Governor().Tracker().Used() != 0 {
+		t.Fatal("aborted compilations leaked memory")
+	}
+}
+
+func TestThrottleDisabledHasNoChain(t *testing.T) {
+	srv, sched := testServer(t, func(c *Config) { c.Throttle = false })
+	if srv.Governor().Chain() != nil {
+		t.Fatal("baseline built a gateway chain")
+	}
+	sched.Go("client", func(tk *vtime.Task) { srv.Close() })
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHousekeepingTicksBroker(t *testing.T) {
+	srv, sched := testServer(t, nil)
+	sched.Go("client", func(tk *vtime.Task) {
+		tk.Sleep(time.Minute)
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Broker().Ticks() == 0 {
+		t.Fatal("broker never ticked")
+	}
+	pool, _, _, _ := srv.Traces()
+	if len(pool.Points) == 0 {
+		t.Fatal("no pool trace samples")
+	}
+}
+
+func TestExtentMismatchRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	sched := vtime.NewScheduler()
+	cat := catalog.NewSales(catalog.SalesConfig{Scale: 0.01, ExtentBytes: 1 << 20}) // 1 MiB != pool's 8 MiB
+	if _, err := New(cfg, cat, sched); err == nil {
+		t.Fatal("extent mismatch accepted")
+	}
+}
+
+func TestReportNonEmpty(t *testing.T) {
+	srv, sched := testServer(t, nil)
+	sched.Go("client", func(tk *vtime.Task) {
+		_ = srv.Submit(tk, "SELECT * FROM dim_channel WHERE dim_channel.channel_id = 1")
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.Report()) < 100 {
+		t.Fatalf("report too small: %q", srv.Report())
+	}
+}

@@ -1,0 +1,6 @@
+package engine
+
+import "math/rand"
+
+// newRand returns a deterministic rng for tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

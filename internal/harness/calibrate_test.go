@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"compilegate/internal/engine"
+	"compilegate/internal/mem"
+	"compilegate/internal/optimizer"
+)
+
+// TestCalibrateGrid sweeps the key simulation knobs and prints the
+// throttled-vs-baseline split for each. Run explicitly with
+//
+//	go test ./internal/harness -run TestCalibrateGrid -v -calibrate
+//
+// (kept cheap enough for -short skips; used to pick DESIGN.md's final
+// calibration).
+func TestCalibrateGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration grid skipped in -short")
+	}
+	type knob struct {
+		name      string
+		taskWait  time.Duration
+		effort    float64
+		maxTasks  int
+		vasMiB    int64
+		grantFrac float64
+		clients   int
+		ramMiB    int64
+	}
+	grid := []knob{
+		{"T3g-s1", 45 * time.Millisecond, 1.5, 6000, 0, 0.45, 30, 3072},
+		{"T3g-s2", 45 * time.Millisecond, 1.5, 6000, 0, 0.45, 30, 3072},
+		{"T2.5g", 45 * time.Millisecond, 1.5, 6000, 0, 0.45, 30, 2560},
+		{"T2g", 45 * time.Millisecond, 1.5, 6000, 0, 0.45, 30, 2048},
+	}
+	for gi, k := range grid {
+		ecfg := engine.DefaultConfig()
+		ecfg.CompileTaskWait = k.taskWait
+		ecfg.VASBytes = k.vasMiB * mem.MiB
+		if k.vasMiB == 0 {
+			ecfg.VASBytes = 0
+		}
+		if k.ramMiB > 0 {
+			ecfg.MemoryBytes = k.ramMiB * mem.MiB
+		}
+		ecfg.ExecGrantLimitFrac = k.grantFrac
+		ocfg := optimizer.DefaultConfig()
+		ocfg.EffortPerCost = k.effort
+		ocfg.MaxTasks = k.maxTasks
+		ecfg.Optimizer = ocfg
+
+		run := func(throttled bool) *Result {
+			o := DefaultOptions(k.clients)
+			o.Horizon = 3 * time.Hour
+			o.Warmup = 45 * time.Minute
+			o.Throttled = throttled
+			o.Seed = int64(gi%3) + 1
+			o.Engine = &ecfg
+			r, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		th, ba := run(true), run(false)
+		ratio := 0.0
+		if ba.Completed > 0 {
+			ratio = float64(th.Completed)/float64(ba.Completed) - 1
+		}
+		fmt.Printf("%s vas=%d grant=%.2f cl=%d | th=%d (err %v, conc %.0f, cmem %dMB, exec %dMB) ba=%d (err %v, conc %.0f, cmem %dMB, exec %dMB) => %+.0f%%\n",
+			k.name, k.vasMiB, k.grantFrac, k.clients,
+			th.Completed, th.ErrorsByKind, th.AvgActiveCompiles, th.AvgCompileBytes>>20, th.AvgExecBytes>>20,
+			ba.Completed, ba.ErrorsByKind, ba.AvgActiveCompiles, ba.AvgCompileBytes>>20, ba.AvgExecBytes>>20,
+			ratio*100)
+	}
+}

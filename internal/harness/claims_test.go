@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"compilegate/internal/catalog"
+	"compilegate/internal/optimizer"
+	"compilegate/internal/sqlparser"
+	"compilegate/internal/stats"
+	"compilegate/internal/workload"
+)
+
+// These tests pin the paper claims the reproduction demonstrably matches,
+// so regressions in calibration are caught by `go test` and not only by
+// inspecting benchmark output.
+
+// TestClaimCompileMemoryRatio pins §5.1: SALES compilations use one to
+// two orders of magnitude more memory than TPC-H queries.
+func TestClaimCompileMemoryRatio(t *testing.T) {
+	salesCat := catalog.NewSales(catalog.SalesConfig{Scale: 0.04, ExtentBytes: 8 << 20})
+	tpchCat := catalog.NewTPCHLike(0.0004, 8<<20)
+	salesOpt := optimizer.New(stats.NewEstimator(salesCat), optimizer.DefaultConfig())
+	tpchOpt := optimizer.New(stats.NewEstimator(tpchCat), optimizer.DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	salesGen, tpchGen := workload.NewSales(), workload.NewTPCH()
+	var salesBytes, tpchBytes int64
+	for i := 0; i < 20; i++ {
+		q, err := sqlparser.Parse(salesGen.Next(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := salesOpt.Optimize(q, optimizer.Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		salesBytes += p.CompileBytes
+		q2, err := sqlparser.Parse(tpchGen.Next(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := tpchOpt.Optimize(q2, optimizer.Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpchBytes += p2.CompileBytes
+	}
+	ratio := float64(salesBytes) / float64(tpchBytes)
+	if ratio < 10 || ratio > 300 {
+		t.Fatalf("SALES/TPC-H compile memory ratio = %.1f, want 1-2 orders of magnitude", ratio)
+	}
+}
+
+// TestClaimLatencyProfile pins §5.2: compiles of 10-90 s, executions of
+// 30 s - 10 min (medians, with slack for the simulation's bucketing).
+func TestClaimLatencyProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	o := DefaultOptions(30)
+	o.Horizon = 90 * time.Minute
+	o.Warmup = 15 * time.Minute
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CompileP50 < 5*time.Second || r.CompileP50 > 3*time.Minute {
+		t.Fatalf("compile p50 = %v, want within the paper's 10-90 s band", r.CompileP50)
+	}
+	if r.ExecP50 < 20*time.Second || r.ExecP50 > 15*time.Minute {
+		t.Fatalf("exec p50 = %v, want within the paper's 30 s - 10 min band", r.ExecP50)
+	}
+}
+
+// TestClaimErrorsRiseWithOverload pins the §5.2 observation that pushing
+// past the saturation point causes resource failures.
+func TestClaimErrorsRiseWithOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	run := func(clients int) int64 {
+		o := DefaultOptions(clients)
+		o.Horizon = 90 * time.Minute
+		o.Warmup = 15 * time.Minute
+		r, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Errors
+	}
+	at30, at40 := run(30), run(40)
+	if at40 <= at30 {
+		t.Fatalf("errors at 40 clients (%d) not above 30 clients (%d)", at40, at30)
+	}
+}
+
+// TestClaimSmallQueryBypass pins the diagnostic-query property: a mixed
+// workload's point queries never block at the gates.
+func TestClaimSmallQueryBypass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	o := DefaultOptions(16)
+	o.Workload = "mix"
+	o.Horizon = 40 * time.Minute
+	o.Warmup = 5 * time.Minute
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Fatal("mixed workload completed nothing")
+	}
+	if r.GatewayTimeouts != 0 {
+		t.Fatalf("gateway timeouts = %d in a mixed workload with bypass", r.GatewayTimeouts)
+	}
+}

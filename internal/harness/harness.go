@@ -1,0 +1,241 @@
+// Package harness runs complete benchmark configurations — the virtual
+// equivalent of the paper's test lab. One Run builds a scheduler, a
+// simulated server over the chosen catalog, and a closed-loop client
+// population, executes the whole run in virtual time, and reports the
+// same measurements the paper's figures plot.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"compilegate/internal/catalog"
+	"compilegate/internal/engine"
+	"compilegate/internal/metrics"
+	"compilegate/internal/vtime"
+	"compilegate/internal/workload"
+)
+
+// Options selects a benchmark configuration.
+type Options struct {
+	// Clients is the concurrent user count (paper: 30 / 35 / 40).
+	Clients int
+	// Horizon is how long clients submit queries.
+	Horizon time.Duration
+	// Warmup excludes the initial portion from measurement, as §5.2 does
+	// ("the data starts at an intermediate time index").
+	Warmup time.Duration
+	// Throttled toggles compilation throttling (the paper's comparison).
+	Throttled bool
+	// Scale scales the catalog (DESIGN.md: 0.04 keeps page counts
+	// tractable while preserving the DB ≫ RAM ratio).
+	Scale float64
+	// Workload is "sales" (default), "tpch", "oltp", or "mix".
+	Workload string
+	// Seed drives all randomness.
+	Seed int64
+	// Engine overrides the default engine config when non-nil (ablations
+	// use this).
+	Engine *engine.Config
+	// Load overrides the default load config when non-nil.
+	Load *workload.LoadConfig
+}
+
+// DefaultOptions returns the SALES configuration at the given client
+// count with throttling enabled.
+func DefaultOptions(clients int) Options {
+	return Options{
+		Clients:   clients,
+		Horizon:   8 * time.Hour, // the paper measures t = 10800 s .. 28800 s
+		Warmup:    3 * time.Hour,
+		Throttled: true,
+		Scale:     0.04,
+		Workload:  "sales",
+		Seed:      1,
+	}
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Options Options
+	// Series is completions per slice inside the measurement window —
+	// the curve Figures 3-5 plot.
+	Series []metrics.Point
+	// Completed/Errors are totals inside the measurement window.
+	Completed int64
+	Errors    int64
+	// ErrorsByKind covers the whole run.
+	ErrorsByKind map[string]int64
+	// Load is the client-side view.
+	Load workload.LoadStats
+	// CompileMemMean/Max profile per-query compile memory.
+	CompileMemMean, CompileMemMax int64
+	// BufferPoolHitRate is the end-of-run hit rate.
+	BufferPoolHitRate float64
+	// GatewayTimeouts / BestEffortPlans count throttling outcomes.
+	GatewayTimeouts uint64
+	BestEffortPlans uint64
+	// CompileP50/ExecP50 are median latencies.
+	CompileP50, ExecP50 time.Duration
+	// Mid-run averages sampled inside the measurement window.
+	AvgPoolBytes, AvgCompileBytes, AvgExecBytes int64
+	AvgActiveCompiles                           float64
+	// Report is the engine's diagnostic dump.
+	Report string
+}
+
+// traceWindowAvg averages trace samples with T in [from, to).
+func traceWindowAvg(tr *metrics.Trace, from, to time.Duration) int64 {
+	var sum, n int64
+	for _, p := range tr.Points {
+		if p.T < from || p.T >= to {
+			continue
+		}
+		sum += p.V
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Throughput returns completions per hour inside the window.
+func (r *Result) Throughput() float64 {
+	window := (r.Options.Horizon - r.Options.Warmup).Hours()
+	if window <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / window
+}
+
+// buildCatalog picks the catalog for the workload.
+func buildCatalog(o Options) *catalog.Catalog {
+	extent := int64(8 << 20)
+	switch o.Workload {
+	case "tpch":
+		return catalog.NewTPCHLike(o.Scale*0.01, extent)
+	default:
+		return catalog.NewSales(catalog.SalesConfig{Scale: o.Scale, ExtentBytes: extent})
+	}
+}
+
+// buildGenerator picks the workload generator.
+func buildGenerator(o Options) workload.Generator {
+	switch o.Workload {
+	case "tpch":
+		return workload.NewTPCH()
+	case "oltp":
+		return workload.NewOLTP()
+	case "mix":
+		return workload.NewMix(
+			[]workload.Generator{workload.NewSales(), workload.NewOLTP()},
+			[]int{1, 3},
+		)
+	default:
+		return workload.NewSales()
+	}
+}
+
+// Run executes one configuration to completion in virtual time.
+func Run(o Options) (*Result, error) {
+	if o.Clients <= 0 {
+		return nil, fmt.Errorf("harness: no clients")
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.04
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 2 * time.Hour
+	}
+	if o.Warmup >= o.Horizon {
+		return nil, fmt.Errorf("harness: warmup %v >= horizon %v", o.Warmup, o.Horizon)
+	}
+
+	var ecfg engine.Config
+	if o.Engine != nil {
+		ecfg = *o.Engine
+	} else {
+		ecfg = engine.DefaultConfig()
+	}
+	ecfg.Throttle = o.Throttled
+	if !o.Throttled {
+		ecfg.DynamicThresholds = false
+		ecfg.BestEffort = false
+	}
+
+	sched := vtime.NewScheduler()
+	cat := buildCatalog(o)
+	srv, err := engine.New(ecfg, cat, sched)
+	if err != nil {
+		return nil, err
+	}
+
+	var lcfg workload.LoadConfig
+	if o.Load != nil {
+		lcfg = *o.Load
+	} else {
+		lcfg = workload.DefaultLoadConfig(o.Clients)
+	}
+	lcfg.Clients = o.Clients
+	lcfg.Horizon = o.Horizon
+	lcfg.Seed = o.Seed
+
+	gen := buildGenerator(o)
+	loadStats := workload.Run(sched, srv, gen, lcfg, srv.Close)
+
+	if err := sched.Run(); err != nil {
+		return nil, fmt.Errorf("harness: simulation error: %w", err)
+	}
+
+	rec := srv.Recorder()
+	meanMem, maxMem := srv.CompileMemProfile()
+	res := &Result{
+		Options:           o,
+		Series:            rec.CompletionSeries(o.Warmup, o.Horizon),
+		Completed:         rec.CompletionsIn(o.Warmup, o.Horizon),
+		Errors:            rec.ErrorsIn(o.Warmup, o.Horizon),
+		ErrorsByKind:      rec.Errors(),
+		Load:              *loadStats,
+		CompileMemMean:    meanMem,
+		CompileMemMax:     maxMem,
+		BufferPoolHitRate: srv.BufferPool().HitRate(),
+		BestEffortPlans:   srv.Governor().BestEffortCount(),
+		CompileP50:        srv.CompileTimes().Quantile(0.5),
+		ExecP50:           srv.ExecTimes().Quantile(0.5),
+		Report:            srv.Report(),
+	}
+	poolTr, compTr, execTr, activeTr := srv.Traces()
+	res.AvgPoolBytes = traceWindowAvg(poolTr, o.Warmup, o.Horizon)
+	res.AvgCompileBytes = traceWindowAvg(compTr, o.Warmup, o.Horizon)
+	res.AvgExecBytes = traceWindowAvg(execTr, o.Warmup, o.Horizon)
+	res.AvgActiveCompiles = float64(traceWindowAvg(activeTr, o.Warmup, o.Horizon))
+	if chain := srv.Governor().Chain(); chain != nil {
+		res.GatewayTimeouts = chain.Timeouts()
+	}
+	return res, nil
+}
+
+// SeriesString renders a completion series like the paper's figures.
+func SeriesString(points []metrics.Point) string {
+	var sb strings.Builder
+	for _, p := range points {
+		fmt.Fprintf(&sb, "  t=%6.0fs  completed=%d\n", p.T.Seconds(), p.V)
+	}
+	return sb.String()
+}
+
+// Compare renders the throttled-vs-unthrottled comparison the paper's
+// figures make, returning the improvement ratio.
+func Compare(throttled, baseline *Result) (ratio float64, summary string) {
+	if baseline.Completed > 0 {
+		ratio = float64(throttled.Completed) / float64(baseline.Completed)
+	}
+	summary = fmt.Sprintf(
+		"clients=%d window=[%v,%v): throttled=%d baseline=%d improvement=%.1f%% errors(throttled)=%d errors(baseline)=%d",
+		throttled.Options.Clients, throttled.Options.Warmup, throttled.Options.Horizon,
+		throttled.Completed, baseline.Completed, (ratio-1)*100,
+		throttled.Errors, baseline.Errors)
+	return ratio, summary
+}

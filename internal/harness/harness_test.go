@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"compilegate/internal/metrics"
+)
+
+func quickOpts(clients int) Options {
+	o := DefaultOptions(clients)
+	o.Horizon = 30 * time.Minute
+	o.Warmup = 5 * time.Minute
+	return o
+}
+
+func TestDefaultOptionsMatchPaperWindow(t *testing.T) {
+	o := DefaultOptions(30)
+	if o.Horizon != 8*time.Hour || o.Warmup != 3*time.Hour {
+		t.Fatalf("window = [%v, %v), paper uses [3h, 8h)", o.Warmup, o.Horizon)
+	}
+	if !o.Throttled || o.Workload != "sales" {
+		t.Fatal("defaults should be throttled SALES")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Options{Clients: 0}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	bad := DefaultOptions(5)
+	bad.Warmup = bad.Horizon
+	if _, err := Run(bad); err == nil {
+		t.Fatal("warmup >= horizon accepted")
+	}
+}
+
+func TestRunProducesSeries(t *testing.T) {
+	o := quickOpts(8)
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	wantSlices := int((o.Horizon - o.Warmup) / (10 * time.Minute))
+	if len(r.Series) != wantSlices {
+		t.Fatalf("series has %d slices, want %d", len(r.Series), wantSlices)
+	}
+	var sum int64
+	for _, p := range r.Series {
+		sum += p.V
+	}
+	if sum != r.Completed {
+		t.Fatalf("series sum %d != completed %d", sum, r.Completed)
+	}
+	if r.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if r.CompileMemMean <= 0 || r.BufferPoolHitRate <= 0 {
+		t.Fatalf("missing profile: mem=%d hit=%v", r.CompileMemMean, r.BufferPoolHitRate)
+	}
+}
+
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	o := quickOpts(6)
+	a, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Errors != b.Errors {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Completed, a.Errors, b.Completed, b.Errors)
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			t.Fatalf("series diverge at slice %d", i)
+		}
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	o := quickOpts(6)
+	a, _ := Run(o)
+	o.Seed = 99
+	b, _ := Run(o)
+	same := a.Completed == b.Completed
+	for i := range a.Series {
+		if i < len(b.Series) && a.Series[i] != b.Series[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestWorkloadSelection(t *testing.T) {
+	for _, wl := range []string{"tpch", "oltp", "mix"} {
+		o := quickOpts(4)
+		o.Workload = wl
+		o.Horizon = 20 * time.Minute
+		o.Warmup = 2 * time.Minute
+		r, err := Run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if r.Completed == 0 {
+			t.Fatalf("%s completed nothing", wl)
+		}
+	}
+}
+
+func TestCompareAndSeriesString(t *testing.T) {
+	th := &Result{Options: DefaultOptions(30), Completed: 135}
+	ba := &Result{Options: DefaultOptions(30), Completed: 100}
+	ratio, summary := Compare(th, ba)
+	if ratio != 1.35 {
+		t.Fatalf("ratio = %v", ratio)
+	}
+	if !strings.Contains(summary, "35.0%") {
+		t.Fatalf("summary = %q", summary)
+	}
+	s := SeriesString([]metrics.Point{{T: 600 * time.Second, V: 31}})
+	if !strings.Contains(s, "600") || !strings.Contains(s, "31") {
+		t.Fatalf("series string = %q", s)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	th := &Result{Options: DefaultOptions(30), Completed: 10}
+	ba := &Result{Options: DefaultOptions(30), Completed: 0}
+	ratio, _ := Compare(th, ba)
+	if ratio != 0 {
+		t.Fatalf("ratio with zero baseline = %v", ratio)
+	}
+}

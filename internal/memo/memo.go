@@ -1,0 +1,208 @@
+// Package memo implements the Cascades-style memo structure ([4] in the
+// paper) the optimizer explores: groups of logically-equivalent
+// expressions, deduplicated so each alternative is stored once.
+//
+// The memo is where compilation memory goes. Every group and expression
+// created charges simulated bytes through a caller-supplied hook; the
+// governor wires that hook to Compilation.Alloc so memo growth is exactly
+// the memory the gateways throttle. The paper's premise — "the memory
+// consumed during optimization is closely related to the number of
+// considered alternatives" — is therefore true by construction.
+package memo
+
+import (
+	"fmt"
+
+	"compilegate/internal/catalog"
+)
+
+// GroupID indexes a group within a memo.
+type GroupID int32
+
+// ExprKind distinguishes leaf (table) expressions from join expressions.
+type ExprKind int8
+
+// Expression kinds.
+const (
+	KindLeaf ExprKind = iota
+	KindJoin
+)
+
+// Expr is one logical alternative inside a group.
+type Expr struct {
+	Kind  ExprKind
+	Table *catalog.Table // KindLeaf
+	L, R  GroupID        // KindJoin
+
+	// Rule-application flags prevent re-deriving the same alternatives.
+	CommuteApplied bool
+	AssocApplied   bool
+}
+
+// Group holds logically-equivalent expressions producing the same join
+// set.
+type Group struct {
+	ID    GroupID
+	Set   uint64 // bitset of table IDs covered
+	Card  float64
+	Exprs []*Expr
+
+	// Exploration cursor: Exprs[:Explored] have had rules applied.
+	Explored int
+}
+
+// ChargeFunc charges n simulated bytes of compilation memory. Returning an
+// error aborts memo growth (out of memory or gateway timeout).
+type ChargeFunc func(n int64) error
+
+// Config sizes the memo's simulated memory footprint.
+type Config struct {
+	// BytesPerGroup / BytesPerExpr are the simulated allocation charged
+	// for each structure. They are deliberately larger than the Go
+	// structs: they model SQL Server's per-alternative optimizer memory
+	// (operator trees, properties, required/derived physical props).
+	BytesPerGroup int64
+	BytesPerExpr  int64
+}
+
+// DefaultConfig matches the calibration in DESIGN.md: a 20-join SALES
+// compilation exploring tens of thousands of alternatives reaches
+// hundreds of simulated MiB — the "several medium/large concurrent ad hoc
+// compilations" regime the paper identifies.
+func DefaultConfig() Config {
+	return Config{
+		BytesPerGroup: 96 << 10, // 96 KiB
+		BytesPerExpr:  48 << 10, // 48 KiB
+	}
+}
+
+// Memo is the search-space store.
+type Memo struct {
+	cfg    Config
+	charge ChargeFunc
+
+	groups []*Group
+	bySet  map[uint64]GroupID
+	// exprKeys dedups join expressions group-wide: (set, l, r).
+	exprKeys map[exprKey]struct{}
+
+	bytes      int64
+	exprCount  int
+	groupCount int
+}
+
+type exprKey struct {
+	set  uint64
+	l, r GroupID
+}
+
+// New creates an empty memo. charge may be nil (no accounting), which the
+// tests use.
+func New(cfg Config, charge ChargeFunc) *Memo {
+	if charge == nil {
+		charge = func(int64) error { return nil }
+	}
+	return &Memo{
+		cfg:      cfg,
+		charge:   charge,
+		bySet:    make(map[uint64]GroupID),
+		exprKeys: make(map[exprKey]struct{}),
+	}
+}
+
+// Bytes returns the simulated bytes the memo has charged.
+func (m *Memo) Bytes() int64 { return m.bytes }
+
+// Groups returns the number of groups.
+func (m *Memo) Groups() int { return m.groupCount }
+
+// Exprs returns the number of expressions.
+func (m *Memo) Exprs() int { return m.exprCount }
+
+// Group returns the group with the given ID.
+func (m *Memo) Group(id GroupID) *Group { return m.groups[id] }
+
+// AllGroups iterates groups in creation order.
+func (m *Memo) AllGroups() []*Group { return m.groups }
+
+// GroupBySet returns the group covering exactly the given table set.
+func (m *Memo) GroupBySet(set uint64) (*Group, bool) {
+	id, ok := m.bySet[set]
+	if !ok {
+		return nil, false
+	}
+	return m.groups[id], true
+}
+
+// getOrAddGroup returns the group for set, creating it (with cardinality
+// card) if needed. The bool reports whether the group already existed.
+func (m *Memo) getOrAddGroup(set uint64, card float64) (*Group, bool, error) {
+	if id, ok := m.bySet[set]; ok {
+		return m.groups[id], true, nil
+	}
+	if err := m.charge(m.cfg.BytesPerGroup); err != nil {
+		return nil, false, err
+	}
+	m.bytes += m.cfg.BytesPerGroup
+	g := &Group{ID: GroupID(len(m.groups)), Set: set, Card: card}
+	m.groups = append(m.groups, g)
+	m.bySet[set] = g.ID
+	m.groupCount++
+	return g, false, nil
+}
+
+// AddLeaf inserts a leaf group for the table with the given filtered
+// cardinality. Adding the same table twice returns the existing group.
+func (m *Memo) AddLeaf(t *catalog.Table, card float64) (*Group, error) {
+	set := uint64(1) << uint(t.ID)
+	g, existed, err := m.getOrAddGroup(set, card)
+	if err != nil {
+		return nil, err
+	}
+	if existed {
+		return g, nil
+	}
+	if err := m.addExpr(g, &Expr{Kind: KindLeaf, Table: t}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// AddJoin inserts a join expression L⋈R into the group covering
+// L.Set ∪ R.Set (creating the group with cardinality card if new). It
+// reports whether a new expression was actually added (false = duplicate).
+func (m *Memo) AddJoin(l, r *Group, card float64) (*Group, bool, error) {
+	if l.Set&r.Set != 0 {
+		return nil, false, fmt.Errorf("memo: join sides overlap: %b & %b", l.Set, r.Set)
+	}
+	set := l.Set | r.Set
+	g, _, err := m.getOrAddGroup(set, card)
+	if err != nil {
+		return nil, false, err
+	}
+	key := exprKey{set: set, l: l.ID, r: r.ID}
+	if _, dup := m.exprKeys[key]; dup {
+		return g, false, nil
+	}
+	if err := m.addExpr(g, &Expr{Kind: KindJoin, L: l.ID, R: r.ID}); err != nil {
+		return nil, false, err
+	}
+	m.exprKeys[key] = struct{}{}
+	return g, true, nil
+}
+
+func (m *Memo) addExpr(g *Group, e *Expr) error {
+	if err := m.charge(m.cfg.BytesPerExpr); err != nil {
+		return err
+	}
+	m.bytes += m.cfg.BytesPerExpr
+	g.Exprs = append(g.Exprs, e)
+	m.exprCount++
+	return nil
+}
+
+// String summarizes the memo.
+func (m *Memo) String() string {
+	return fmt.Sprintf("memo: %d groups, %d exprs, %d simulated bytes",
+		m.groupCount, m.exprCount, m.bytes)
+}

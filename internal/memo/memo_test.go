@@ -1,0 +1,185 @@
+package memo
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"compilegate/internal/catalog"
+)
+
+func tables(n int) []*catalog.Table {
+	c := catalog.New(8 << 20)
+	out := make([]*catalog.Table, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.AddTable(&catalog.Table{
+			Name: string(rune('a' + i)), Rows: int64(1000 * (i + 1)), RowBytes: 100,
+		})
+	}
+	return out
+}
+
+func TestAddLeafDedup(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	ts := tables(2)
+	g1, err := m.AddLeaf(ts[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.AddLeaf(ts[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("duplicate leaf created a second group")
+	}
+	if m.Groups() != 1 || m.Exprs() != 1 {
+		t.Fatalf("groups=%d exprs=%d, want 1/1", m.Groups(), m.Exprs())
+	}
+}
+
+func TestAddJoinCreatesUnionGroup(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	ts := tables(2)
+	a, _ := m.AddLeaf(ts[0], 1000)
+	b, _ := m.AddLeaf(ts[1], 2000)
+	j, added, err := m.AddJoin(a, b, 5000)
+	if err != nil || !added {
+		t.Fatalf("AddJoin: added=%v err=%v", added, err)
+	}
+	if j.Set != a.Set|b.Set {
+		t.Fatalf("join set = %b", j.Set)
+	}
+	if j.Card != 5000 {
+		t.Fatalf("join card = %v", j.Card)
+	}
+	// Commuted join lands in the same group as a distinct expr.
+	j2, added2, err := m.AddJoin(b, a, 5000)
+	if err != nil || !added2 {
+		t.Fatalf("commuted AddJoin: added=%v err=%v", added2, err)
+	}
+	if j2 != j {
+		t.Fatal("commuted join created a new group")
+	}
+	if len(j.Exprs) != 2 {
+		t.Fatalf("group exprs = %d, want 2", len(j.Exprs))
+	}
+	// Exact duplicate is rejected.
+	_, added3, _ := m.AddJoin(a, b, 5000)
+	if added3 {
+		t.Fatal("duplicate join expr added")
+	}
+}
+
+func TestAddJoinOverlapRejected(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	ts := tables(2)
+	a, _ := m.AddLeaf(ts[0], 1000)
+	b, _ := m.AddLeaf(ts[1], 2000)
+	j, _, _ := m.AddJoin(a, b, 5000)
+	if _, _, err := m.AddJoin(j, a, 1); err == nil {
+		t.Fatal("overlapping join accepted")
+	}
+}
+
+func TestMemoryChargedPerStructure(t *testing.T) {
+	cfg := Config{BytesPerGroup: 100, BytesPerExpr: 10}
+	var charged int64
+	m := New(cfg, func(n int64) error { charged += n; return nil })
+	ts := tables(2)
+	a, _ := m.AddLeaf(ts[0], 1) // group + expr = 110
+	b, _ := m.AddLeaf(ts[1], 1) // 110
+	m.AddJoin(a, b, 1)          // 110
+	m.AddJoin(b, a, 1)          // expr only = 10
+	if charged != 340 {
+		t.Fatalf("charged = %d, want 340", charged)
+	}
+	if m.Bytes() != charged {
+		t.Fatalf("Bytes() = %d != charged %d", m.Bytes(), charged)
+	}
+}
+
+func TestChargeFailureStopsGrowth(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	m := New(DefaultConfig(), func(int64) error {
+		calls++
+		if calls > 2 {
+			return boom
+		}
+		return nil
+	})
+	ts := tables(2)
+	if _, err := m.AddLeaf(ts[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.AddLeaf(ts[1], 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed group must not be registered.
+	if _, ok := m.GroupBySet(1 << uint(ts[1].ID)); ok {
+		t.Fatal("failed group registered")
+	}
+}
+
+func TestGroupLookup(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	ts := tables(3)
+	a, _ := m.AddLeaf(ts[0], 1)
+	if g, ok := m.GroupBySet(a.Set); !ok || g != a {
+		t.Fatal("GroupBySet broken")
+	}
+	if _, ok := m.GroupBySet(1 << 63); ok {
+		t.Fatal("phantom group")
+	}
+	if m.Group(a.ID) != a {
+		t.Fatal("Group(ID) broken")
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: after any sequence of joins over random leaf pairs, the memo
+// has exactly one group per distinct table set and expression count >=
+// group count; Bytes() equals groups*BytesPerGroup + exprs*BytesPerExpr.
+func TestQuickMemoAccounting(t *testing.T) {
+	cfg := Config{BytesPerGroup: 7, BytesPerExpr: 3}
+	f := func(pairs [][2]uint8) bool {
+		m := New(cfg, nil)
+		ts := tables(6)
+		groups := make([]*Group, 0, 16)
+		for _, tb := range ts {
+			g, err := m.AddLeaf(tb, 10)
+			if err != nil {
+				return false
+			}
+			groups = append(groups, g)
+		}
+		for _, p := range pairs {
+			a := groups[int(p[0])%len(groups)]
+			b := groups[int(p[1])%len(groups)]
+			if a.Set&b.Set != 0 {
+				continue
+			}
+			g, _, err := m.AddJoin(a, b, 100)
+			if err != nil {
+				return false
+			}
+			groups = append(groups, g)
+		}
+		sets := make(map[uint64]bool)
+		for _, g := range m.AllGroups() {
+			if sets[g.Set] {
+				return false // duplicate set
+			}
+			sets[g.Set] = true
+		}
+		want := int64(m.Groups())*cfg.BytesPerGroup + int64(m.Exprs())*cfg.BytesPerExpr
+		return m.Bytes() == want && m.Exprs() >= m.Groups()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

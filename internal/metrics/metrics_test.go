@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderSlices(t *testing.T) {
+	r := NewRecorder(10 * time.Minute)
+	r.RecordCompletion(5 * time.Minute)  // slice 0
+	r.RecordCompletion(15 * time.Minute) // slice 1
+	r.RecordCompletion(16 * time.Minute) // slice 1
+	r.RecordError(25*time.Minute, "oom") // slice 2
+
+	series := r.CompletionSeries(0, time.Hour)
+	if len(series) != 3 {
+		t.Fatalf("series len = %d, want 3", len(series))
+	}
+	if series[0].V != 1 || series[1].V != 2 || series[2].V != 0 {
+		t.Fatalf("series = %v", series)
+	}
+	if r.Completed() != 3 {
+		t.Fatalf("completed = %d", r.Completed())
+	}
+	if r.Errors()["oom"] != 1 || r.TotalErrors() != 1 {
+		t.Fatalf("errors = %v", r.Errors())
+	}
+}
+
+func TestRecorderWindow(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	for i := 0; i < 60; i++ {
+		r.RecordCompletion(time.Duration(i) * time.Minute)
+	}
+	if got := r.CompletionsIn(10*time.Minute, 20*time.Minute); got != 10 {
+		t.Fatalf("CompletionsIn = %d, want 10", got)
+	}
+	if got := len(r.CompletionSeries(10*time.Minute, 20*time.Minute)); got != 10 {
+		t.Fatalf("series length = %d, want 10", got)
+	}
+}
+
+func TestErrorSeriesAndWindowSum(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	r.RecordError(30*time.Second, "timeout")
+	r.RecordError(90*time.Second, "timeout")
+	r.RecordError(90*time.Second, "oom")
+	s := r.ErrorSeries("timeout", 0, 5*time.Minute)
+	if s[0].V != 1 || s[1].V != 1 {
+		t.Fatalf("timeout series = %v", s)
+	}
+	if got := r.ErrorsIn(time.Minute, 2*time.Minute); got != 2 {
+		t.Fatalf("ErrorsIn = %d, want 2", got)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace("q1")
+	tr.Add(0, 10)
+	tr.Add(time.Second, 20)
+	tr.Add(2*time.Second, 15)
+	if tr.Max() != 20 {
+		t.Fatalf("Max = %d", tr.Max())
+	}
+	if tr.At(1500*time.Millisecond) != 20 {
+		t.Fatalf("At(1.5s) = %d, want 20", tr.At(1500*time.Millisecond))
+	}
+	if tr.At(-time.Second) != 0 {
+		t.Fatalf("At before first sample = %d, want 0", tr.At(-time.Second))
+	}
+	if tr.At(time.Hour) != 15 {
+		t.Fatalf("At after last sample = %d, want 15", tr.At(time.Hour))
+	}
+}
+
+func TestTraceRejectsTimeTravel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order trace sample did not panic")
+		}
+	}()
+	tr := NewTrace("q")
+	tr.Add(time.Second, 1)
+	tr.Add(0, 2)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(time.Second, 10*time.Second, time.Minute)
+	h.Observe(500 * time.Millisecond)
+	h.Observe(5 * time.Second)
+	h.Observe(5 * time.Second)
+	h.Observe(2 * time.Minute)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 2*time.Minute {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if q := h.Quantile(0.5); q != 10*time.Second {
+		t.Fatalf("p50 = %v, want 10s bucket bound", q)
+	}
+	if q := h.Quantile(1.0); q != 2*time.Minute {
+		t.Fatalf("p100 = %v, want observed max", q)
+	}
+	if h.Mean() <= 0 {
+		t.Fatal("mean not positive")
+	}
+	if s := h.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(time.Second)
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+// Property: total completions always equals the sum over any partition of
+// the time axis into windows.
+func TestQuickRecorderPartition(t *testing.T) {
+	f := func(times []uint16) bool {
+		r := NewRecorder(time.Minute)
+		var maxT time.Duration
+		for _, u := range times {
+			at := time.Duration(u) * time.Second
+			if at > maxT {
+				maxT = at
+			}
+			r.RecordCompletion(at)
+		}
+		mid := maxT / 2
+		a := r.CompletionsIn(0, mid)
+		b := r.CompletionsIn(mid, maxT+time.Minute)
+		return a+b == int64(len(times))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram count equals observations and quantiles are
+// monotonic in q.
+func TestQuickHistogramMonotoneQuantiles(t *testing.T) {
+	f := func(obs []uint16) bool {
+		if len(obs) == 0 {
+			return true
+		}
+		h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond, time.Second)
+		for _, o := range obs {
+			h.Observe(time.Duration(o) * 100 * time.Microsecond)
+		}
+		if h.Count() != int64(len(obs)) {
+			return false
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,560 @@
+// Package optimizer implements a Cascades-style query optimizer over the
+// memo: join-order exploration via commutativity/associativity rules,
+// dynamic optimization effort proportional to estimated plan cost, and
+// cost-based plan extraction.
+//
+// The optimizer is deliberately faithful to the properties the paper
+// depends on:
+//
+//   - memory grows with the number of alternatives considered (every memo
+//     structure is charged through the Charge hook, which the engine wires
+//     to the governor's Compilation.Alloc — where gateway blocking happens);
+//   - optimization time is a function of estimated query cost (dynamic
+//     optimization), so expensive 15-20-join queries compile for tens of
+//     virtual seconds while OLTP queries finish instantly;
+//   - a complete plan (the initial left-deep tree) exists almost
+//     immediately, so the best-effort path (§4.1) can always return
+//     something once the broker predicts exhaustion.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"compilegate/internal/catalog"
+	"compilegate/internal/memo"
+	"compilegate/internal/plan"
+	"compilegate/internal/stats"
+)
+
+// Hooks connect one optimization run to the engine.
+type Hooks struct {
+	// Charge charges simulated compilation memory; may block at gateways
+	// and may fail (OOM / gateway timeout).
+	Charge memo.ChargeFunc
+	// Work reports n units of optimizer work so the engine can consume
+	// virtual CPU time. May be nil.
+	Work func(tasks int)
+	// BestEffort, polled periodically, asks whether to stop exploring and
+	// return the best complete plan so far. May be nil.
+	BestEffort func() bool
+}
+
+// Config tunes the optimizer.
+type Config struct {
+	Memo memo.Config
+	Cost plan.CostModel
+	// MinTasks/MaxTasks clamp the exploration budget.
+	MinTasks, MaxTasks int
+	// EffortPerCost converts the initial plan's estimated cost into the
+	// task budget: budget = MinTasks + cost*EffortPerCost. This is the
+	// "dynamic optimization" knob: more expensive queries get
+	// proportionally more optimization (and therefore memory).
+	EffortPerCost float64
+	// WorkBatch is how many tasks pass between Work/BestEffort callbacks.
+	WorkBatch int
+}
+
+// DefaultConfig returns the calibrated tuning.
+func DefaultConfig() Config {
+	return Config{
+		Memo:          memo.DefaultConfig(),
+		Cost:          plan.DefaultCostModel(),
+		MinTasks:      32,
+		MaxTasks:      6_000,
+		EffortPerCost: 1.5,
+		WorkBatch:     64,
+	}
+}
+
+// Optimizer holds immutable state shared across optimizations.
+type Optimizer struct {
+	est *stats.Estimator
+	cat *catalog.Catalog
+	cfg Config
+}
+
+// New creates an optimizer over the estimator's catalog.
+func New(est *stats.Estimator, cfg Config) *Optimizer {
+	if cfg.WorkBatch <= 0 {
+		cfg.WorkBatch = 64
+	}
+	return &Optimizer{est: est, cat: est.Catalog(), cfg: cfg}
+}
+
+// run is the per-optimization state.
+type run struct {
+	o     *Optimizer
+	q     *plan.Query
+	hooks Hooks
+	m     *memo.Memo
+
+	terms    []*plan.TableTerm         // query terms by table ID position
+	tableOf  map[string]*catalog.Table // resolved tables
+	leafCard map[uint64]float64        // per-leaf filtered cardinality
+	leafSel  map[uint64]float64        // per-leaf combined filter selectivity
+	adjacent map[int]uint64            // table ID -> neighbor bitset
+	edges    []joinEdge                // join edges in insertion order (deterministic)
+	cardMemo map[uint64]float64
+
+	tasks        int
+	budget       int
+	sinceWork    int
+	cutBestFirst bool // best-effort fired
+}
+
+// Optimize compiles q to a physical plan. Errors are either query errors
+// (validation), mem.ErrOutOfMemory, or *gateway.ErrTimeout propagated from
+// the Charge hook.
+func (o *Optimizer) Optimize(q *plan.Query, hooks Hooks) (*plan.Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	r := &run{
+		o:        o,
+		q:        q,
+		hooks:    hooks,
+		m:        memo.New(o.cfg.Memo, hooks.Charge),
+		tableOf:  make(map[string]*catalog.Table),
+		leafCard: make(map[uint64]float64),
+		leafSel:  make(map[uint64]float64),
+		adjacent: make(map[int]uint64),
+		cardMemo: make(map[uint64]float64),
+	}
+	if err := r.resolve(); err != nil {
+		return nil, err
+	}
+	root, err := r.buildInitial()
+	if err != nil {
+		return nil, err
+	}
+	// Dynamic optimization: size the exploration budget from the initial
+	// plan's estimated cost.
+	initial := r.extract(root)
+	r.budget = r.effortBudget(initial.Cost())
+
+	if err := r.explore(root); err != nil {
+		return nil, err
+	}
+	p := r.extract(root)
+	p.BestEffort = r.cutBestFirst
+	p.ExprsExplored = r.m.Exprs()
+	p.CompileBytes = r.m.Bytes()
+	return p, nil
+}
+
+// EstimateInitialCost returns the cost of the unexplored left-deep plan
+// for q — what dynamic optimization keys its effort from. Used by tests
+// and diagnostics; it charges no memory.
+func (o *Optimizer) EstimateInitialCost(q *plan.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	r := &run{
+		o:        o,
+		q:        q,
+		hooks:    Hooks{},
+		m:        memo.New(o.cfg.Memo, nil),
+		tableOf:  make(map[string]*catalog.Table),
+		leafCard: make(map[uint64]float64),
+		leafSel:  make(map[uint64]float64),
+		adjacent: make(map[int]uint64),
+		cardMemo: make(map[uint64]float64),
+	}
+	if err := r.resolve(); err != nil {
+		return 0, err
+	}
+	root, err := r.buildInitial()
+	if err != nil {
+		return 0, err
+	}
+	return r.extract(root).Cost(), nil
+}
+
+func (r *run) effortBudget(cost float64) int {
+	b := r.o.cfg.MinTasks + int(cost*r.o.cfg.EffortPerCost)
+	if b > r.o.cfg.MaxTasks {
+		b = r.o.cfg.MaxTasks
+	}
+	return b
+}
+
+// resolve binds query tables against the catalog and precomputes the join
+// graph structures.
+func (r *run) resolve() error {
+	for i := range r.q.Tables {
+		term := &r.q.Tables[i]
+		t := r.o.cat.Table(term.Name)
+		if t == nil {
+			return fmt.Errorf("optimizer: unknown table %s", term.Name)
+		}
+		r.tableOf[term.Name] = t
+		sel := r.o.est.CombinedSelectivity(term.Preds)
+		set := uint64(1) << uint(t.ID)
+		card := float64(t.Rows) * sel
+		if card < 1 {
+			card = 1
+		}
+		r.leafCard[set] = card
+		r.leafSel[set] = sel
+		r.terms = append(r.terms, term)
+	}
+	seen := make(map[[2]int]bool)
+	for _, j := range r.q.Joins {
+		a, b := r.tableOf[j.A], r.tableOf[j.B]
+		if a == nil || b == nil {
+			return fmt.Errorf("optimizer: join references unknown table %s-%s", j.A, j.B)
+		}
+		r.adjacent[a.ID] |= 1 << uint(b.ID)
+		r.adjacent[b.ID] |= 1 << uint(a.ID)
+		key := edgeKey(a.ID, b.ID)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		r.edges = append(r.edges, joinEdge{
+			mask: 1<<uint(a.ID) | 1<<uint(b.ID),
+			sel:  r.o.est.JoinSelectivity(j.A, j.B),
+		})
+	}
+	return nil
+}
+
+type joinEdge struct {
+	mask uint64 // both endpoint bits
+	sel  float64
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// cardOfSet estimates the cardinality of joining exactly the tables in
+// set: the product of filtered leaf cardinalities and the selectivities of
+// all join edges internal to the set.
+func (r *run) cardOfSet(set uint64) float64 {
+	if c, ok := r.cardMemo[set]; ok {
+		return c
+	}
+	card := 1.0
+	for s := set; s != 0; s &= s - 1 {
+		bit := s & -s
+		card *= r.leafCard[bit]
+	}
+	for _, e := range r.edges {
+		if set&e.mask == e.mask {
+			card *= e.sel
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	r.cardMemo[set] = card
+	return card
+}
+
+// connected reports whether any join edge links s1 and s2.
+func (r *run) connected(s1, s2 uint64) bool {
+	for s := s1; s != 0; s &= s - 1 {
+		id := trailingBit(s)
+		if r.adjacent[id]&s2 != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func trailingBit(s uint64) int {
+	n := 0
+	for s&1 == 0 {
+		s >>= 1
+		n++
+	}
+	return n
+}
+
+// buildInitial creates leaf groups and a connectivity-respecting left-deep
+// join tree in greedy smallest-cardinality-first order, returning the root
+// group. This is the "first complete plan" dynamic optimization starts
+// from.
+func (r *run) buildInitial() (*memo.Group, error) {
+	leaves := make(map[string]*memo.Group, len(r.terms))
+	for _, term := range r.terms {
+		t := r.tableOf[term.Name]
+		set := uint64(1) << uint(t.ID)
+		g, err := r.m.AddLeaf(t, r.leafCard[set])
+		if err != nil {
+			return nil, err
+		}
+		leaves[term.Name] = g
+	}
+	if len(r.terms) == 1 {
+		return leaves[r.terms[0].Name], nil
+	}
+
+	// Pick the smallest filtered leaf as the seed, then greedily join the
+	// connected table that minimizes intermediate cardinality.
+	remaining := make(map[string]*memo.Group, len(leaves))
+	for k, v := range leaves {
+		remaining[k] = v
+	}
+	var cur *memo.Group
+	var curName string
+	for _, term := range r.terms {
+		g := leaves[term.Name]
+		if cur == nil || g.Card < cur.Card {
+			cur = g
+			curName = term.Name
+		}
+	}
+	delete(remaining, curName)
+	for len(remaining) > 0 {
+		var best *memo.Group
+		var bestName string
+		bestCard := math.Inf(1)
+		for _, term := range r.terms {
+			g, ok := remaining[term.Name]
+			if !ok {
+				continue
+			}
+			if !r.connected(cur.Set, g.Set) {
+				continue
+			}
+			c := r.cardOfSet(cur.Set | g.Set)
+			if c < bestCard {
+				best, bestName, bestCard = g, term.Name, c
+			}
+		}
+		if best == nil {
+			// Validate() guarantees connectivity, so this is unreachable
+			// unless the query lied; fail loudly.
+			return nil, fmt.Errorf("optimizer: disconnected join graph at %s", curName)
+		}
+		joined, _, err := r.m.AddJoin(cur, best, bestCard)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+		delete(remaining, bestName)
+	}
+	return cur, nil
+}
+
+// step accounts one unit of optimizer work, firing the Work/BestEffort
+// callbacks on batch boundaries. It returns false when exploration must
+// stop (budget exhausted or best-effort requested).
+func (r *run) step() bool {
+	r.tasks++
+	r.sinceWork++
+	if r.sinceWork >= r.o.cfg.WorkBatch {
+		if r.hooks.Work != nil {
+			r.hooks.Work(r.sinceWork)
+		}
+		r.sinceWork = 0
+		if r.hooks.BestEffort != nil && r.hooks.BestEffort() {
+			r.cutBestFirst = true
+			return false
+		}
+	}
+	return r.tasks < r.budget
+}
+
+// explore runs rule application round-robin across groups until the
+// budget is exhausted, best-effort fires, or the space is fully explored.
+func (r *run) explore(root *memo.Group) error {
+	flushWork := func() {
+		if r.hooks.Work != nil && r.sinceWork > 0 {
+			r.hooks.Work(r.sinceWork)
+			r.sinceWork = 0
+		}
+	}
+	for {
+		progressed := false
+		// Iterate by index: AllGroups grows while we iterate.
+		for gi := 0; gi < len(r.m.AllGroups()); gi++ {
+			g := r.m.Group(memo.GroupID(gi))
+			for g.Explored < len(g.Exprs) {
+				e := g.Exprs[g.Explored]
+				g.Explored++
+				progressed = true
+				if err := r.applyRules(g, e); err != nil {
+					flushWork()
+					return err
+				}
+				if !r.step() {
+					flushWork()
+					return nil
+				}
+			}
+		}
+		if !progressed {
+			flushWork()
+			return nil
+		}
+	}
+}
+
+// applyRules derives new alternatives from one expression: join
+// commutativity and left-associativity (with commutativity these generate
+// the connected bushy space).
+func (r *run) applyRules(g *memo.Group, e *memo.Expr) error {
+	if e.Kind != memo.KindJoin {
+		return nil
+	}
+	l, rt := r.m.Group(e.L), r.m.Group(e.R)
+
+	// Commute: L ⋈ R  =>  R ⋈ L.
+	if !e.CommuteApplied {
+		e.CommuteApplied = true
+		if _, _, err := r.m.AddJoin(rt, l, g.Card); err != nil {
+			return err
+		}
+	}
+
+	// Associate: (A ⋈ B) ⋈ R  =>  A ⋈ (B ⋈ R), for every join shape of L.
+	if !e.AssocApplied {
+		e.AssocApplied = true
+		for _, le := range l.Exprs {
+			if le.Kind != memo.KindJoin {
+				continue
+			}
+			a, b := r.m.Group(le.L), r.m.Group(le.R)
+			if !r.connected(b.Set, rt.Set) {
+				continue // would introduce a cross product
+			}
+			inner, added, err := r.m.AddJoin(b, rt, r.cardOfSet(b.Set|rt.Set))
+			if err != nil {
+				return err
+			}
+			if added && !r.step() {
+				return nil
+			}
+			if _, _, err := r.m.AddJoin(a, inner, g.Card); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// costed is the DP table entry for plan extraction.
+type costed struct {
+	cost float64
+	expr *memo.Expr
+	// Leaf access path choice:
+	op   plan.Op
+	frac float64 // fraction of extents read
+}
+
+// extract computes the cheapest implementation of every group reachable
+// from root and materializes the physical plan (with the query's aggregate
+// on top when present).
+func (r *run) extract(root *memo.Group) *plan.Plan {
+	best := make(map[memo.GroupID]costed)
+	node := r.buildNode(root, best)
+	// Aggregation on top.
+	if len(r.q.GroupBy) > 0 {
+		cols := make([]struct{ Table, Column string }, len(r.q.GroupBy))
+		for i, c := range r.q.GroupBy {
+			cols[i] = struct{ Table, Column string }{c.Table, c.Column}
+		}
+		groups := r.o.est.DistinctAfterGroupBy(node.OutCard, cols)
+		aggs := r.q.Aggregates
+		if aggs < 1 {
+			aggs = 1
+		}
+		cm := r.o.cfg.Cost
+		aggCost := node.OutCard*cm.AggRow*float64(aggs) + groups*cm.BuildRow
+		agg := &plan.Node{
+			Op:          plan.OpHashAgg,
+			Left:        node,
+			OutCard:     groups,
+			NodeCost:    aggCost,
+			SubtreeCost: node.SubtreeCost + aggCost,
+			BuildBytes:  int64(groups) * cm.HashRowBytes * 2,
+		}
+		node = agg
+	}
+	return &plan.Plan{Root: node}
+}
+
+// bestOf computes the group's cheapest expression (memoized).
+func (r *run) bestOf(g *memo.Group, memoized map[memo.GroupID]costed) costed {
+	if c, ok := memoized[g.ID]; ok {
+		return c
+	}
+	cm := r.o.cfg.Cost
+	out := costed{cost: math.Inf(1)}
+	for _, e := range g.Exprs {
+		switch e.Kind {
+		case memo.KindLeaf:
+			t := e.Table
+			extents := float64(r.o.cat.Extents(t))
+			sel := r.leafSel[g.Set]
+			// Sequential scan.
+			seq := extents*cm.SeqExtent + float64(t.Rows)*cm.CPURow
+			if seq < out.cost {
+				out = costed{cost: seq, expr: e, op: plan.OpSeqScan, frac: 1}
+			}
+			// Index scan when a filtered column has a leading index and
+			// the filter is selective enough to beat sequential I/O.
+			if term := r.q.Table(t.Name); term != nil {
+				for _, p := range term.Preds {
+					if !t.HasIndexOn(p.Column) {
+						continue
+					}
+					frac := sel
+					idx := extents*frac*cm.RandExtent + float64(t.Rows)*sel*cm.CPURow
+					if idx < out.cost {
+						out = costed{cost: idx, expr: e, op: plan.OpIndexScan, frac: frac}
+					}
+				}
+			}
+		case memo.KindJoin:
+			l, rt := r.m.Group(e.L), r.m.Group(e.R)
+			cl := r.bestOf(l, memoized)
+			cr := r.bestOf(rt, memoized)
+			// Hash join, right side builds.
+			c := cl.cost + cr.cost + rt.Card*cm.BuildRow + l.Card*cm.CPURow + g.Card*cm.CPURow
+			if c < out.cost {
+				out = costed{cost: c, expr: e}
+			}
+		}
+	}
+	memoized[g.ID] = out
+	return out
+}
+
+// buildNode materializes the chosen expression tree for g.
+func (r *run) buildNode(g *memo.Group, memoized map[memo.GroupID]costed) *plan.Node {
+	c := r.bestOf(g, memoized)
+	cm := r.o.cfg.Cost
+	e := c.expr
+	if e.Kind == memo.KindLeaf {
+		t := e.Table
+		return &plan.Node{
+			Op:           c.op,
+			Table:        t.Name,
+			ScanFraction: c.frac,
+			OutCard:      g.Card,
+			NodeCost:     c.cost,
+			SubtreeCost:  c.cost,
+		}
+	}
+	l, rt := r.m.Group(e.L), r.m.Group(e.R)
+	ln := r.buildNode(l, memoized)
+	rn := r.buildNode(rt, memoized)
+	own := rt.Card*cm.BuildRow + l.Card*cm.CPURow + g.Card*cm.CPURow
+	return &plan.Node{
+		Op:          plan.OpHashJoin,
+		Left:        ln,
+		Right:       rn,
+		OutCard:     g.Card,
+		NodeCost:    own,
+		SubtreeCost: ln.SubtreeCost + rn.SubtreeCost + own,
+		BuildBytes:  int64(rt.Card) * cm.HashRowBytes,
+	}
+}

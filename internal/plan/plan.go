@@ -1,0 +1,268 @@
+// Package plan defines the optimizer's input (a logical query description:
+// tables, predicates, join graph, grouping) and output (a costed physical
+// operator tree), plus the cost model shared by the optimizer and the
+// execution engine.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"compilegate/internal/stats"
+)
+
+// ColRef names a column of a table.
+type ColRef struct {
+	Table, Column string
+}
+
+// String renders the reference.
+func (c ColRef) String() string { return c.Table + "." + c.Column }
+
+// TableTerm is one table referenced by a query with its local filter
+// predicates.
+type TableTerm struct {
+	Name  string
+	Preds []stats.Pred
+}
+
+// JoinEdge is one equi-join between two referenced tables.
+type JoinEdge struct {
+	A, B string
+}
+
+// Query is the logical query the optimizer receives: a conjunctive
+// join/filter/aggregate block, which covers the paper's workloads (star
+// joins with aggregates on top).
+type Query struct {
+	// Text is the original SQL (used for fingerprinting/diagnostics).
+	Text string
+	// Tables lists referenced tables with their filters.
+	Tables []TableTerm
+	// Joins is the join graph over Tables.
+	Joins []JoinEdge
+	// GroupBy lists grouping columns; empty means no aggregation.
+	GroupBy []ColRef
+	// Aggregates counts aggregate expressions computed per group.
+	Aggregates int
+}
+
+// NumJoins returns the number of join edges (the paper characterizes
+// queries by join count).
+func (q *Query) NumJoins() int { return len(q.Joins) }
+
+// Table returns the term for the named table, or nil.
+func (q *Query) Table(name string) *TableTerm {
+	for i := range q.Tables {
+		if q.Tables[i].Name == name {
+			return &q.Tables[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks internal consistency: joins reference listed tables and
+// the join graph is connected (the engine rejects cross products).
+func (q *Query) Validate() error {
+	if len(q.Tables) == 0 {
+		return fmt.Errorf("plan: query references no tables")
+	}
+	idx := make(map[string]int, len(q.Tables))
+	for i, t := range q.Tables {
+		if _, dup := idx[t.Name]; dup {
+			return fmt.Errorf("plan: table %s referenced twice (self-joins unsupported)", t.Name)
+		}
+		idx[t.Name] = i
+	}
+	parent := make([]int, len(q.Tables))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, j := range q.Joins {
+		a, okA := idx[j.A]
+		b, okB := idx[j.B]
+		if !okA || !okB {
+			return fmt.Errorf("plan: join %s-%s references unlisted table", j.A, j.B)
+		}
+		parent[find(a)] = find(b)
+	}
+	root := find(0)
+	for i := range q.Tables {
+		if find(i) != root {
+			return fmt.Errorf("plan: join graph is disconnected at %s (cross products unsupported)", q.Tables[i].Name)
+		}
+	}
+	return nil
+}
+
+// Op identifies a physical operator.
+type Op int
+
+// Physical operator kinds.
+const (
+	OpSeqScan Op = iota
+	OpIndexScan
+	OpHashJoin
+	OpHashAgg
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case OpSeqScan:
+		return "SeqScan"
+	case OpIndexScan:
+		return "IndexScan"
+	case OpHashJoin:
+		return "HashJoin"
+	case OpHashAgg:
+		return "HashAgg"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// CostModel holds the constants the optimizer and executor share. Units
+// are abstract "cost units"; the executor converts them to virtual time.
+type CostModel struct {
+	// SeqExtent is the cost of scanning one extent sequentially.
+	SeqExtent float64
+	// RandExtent is the cost of one random extent fetch (index path).
+	RandExtent float64
+	// CPURow is the per-row CPU cost of scans/probes.
+	CPURow float64
+	// BuildRow is the per-row cost of inserting into a hash table.
+	BuildRow float64
+	// AggRow is the per-row cost of aggregate evaluation per aggregate.
+	AggRow float64
+	// HashRowBytes is the in-memory footprint per hash-table row, used to
+	// size execution memory grants.
+	HashRowBytes int64
+}
+
+// DefaultCostModel returns the tuning used throughout the reproduction.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SeqExtent:    1.0,
+		RandExtent:   4.0,
+		CPURow:       0.0000015,
+		BuildRow:     0.000002,
+		AggRow:       0.000001,
+		HashRowBytes: 384,
+	}
+}
+
+// Node is one node of a physical plan tree.
+type Node struct {
+	Op    Op
+	Table string // scans only
+	// ScanFraction is the fraction of the table's extents this scan
+	// touches (selectivity pushed into the access path).
+	ScanFraction float64
+	Left, Right  *Node
+
+	// OutCard is the estimated output cardinality.
+	OutCard float64
+	// NodeCost is this node's own cost; SubtreeCost includes children.
+	NodeCost, SubtreeCost float64
+	// BuildBytes is the hash-table grant this node needs at runtime
+	// (hash joins and aggregates).
+	BuildBytes int64
+}
+
+// Plan is a complete physical plan.
+type Plan struct {
+	Root *Node
+	// BestEffort marks plans returned early under predicted memory
+	// exhaustion (§4.1).
+	BestEffort bool
+	// ExprsExplored counts memo expressions considered while optimizing.
+	ExprsExplored int
+	// CompileBytes is the peak simulated compilation memory used.
+	CompileBytes int64
+}
+
+// Cost returns the plan's total estimated cost.
+func (p *Plan) Cost() float64 {
+	if p.Root == nil {
+		return 0
+	}
+	return p.Root.SubtreeCost
+}
+
+// MemoryGrant returns the execution memory the plan needs: the peak of
+// concurrently-held hash builds. The executor pipelines one join at a
+// time with its build side resident, so the grant is the largest single
+// build plus the largest aggregate, a close match to how SQL Server
+// reserves query-execution memory up front.
+func (p *Plan) MemoryGrant() int64 {
+	var maxBuild, agg int64
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Op == OpHashJoin && n.BuildBytes > maxBuild {
+			maxBuild = n.BuildBytes
+		}
+		if n.Op == OpHashAgg && n.BuildBytes > agg {
+			agg = n.BuildBytes
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(p.Root)
+	return maxBuild + agg
+}
+
+// Nodes returns the plan's node count.
+func (p *Plan) Nodes() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.Left) + count(n.Right)
+	}
+	return count(p.Root)
+}
+
+// PlanBytes estimates the cached-plan footprint: proportional to node
+// count, matching how plan cache memory scales with plan complexity.
+func (p *Plan) PlanBytes() int64 {
+	return int64(p.Nodes()) * 24 << 10 // 24 KiB per operator
+}
+
+// String renders the plan tree indented, with cardinalities and costs.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	if p.BestEffort {
+		sb.WriteString("(best-effort plan)\n")
+	}
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n == nil {
+			return
+		}
+		sb.WriteString(strings.Repeat("  ", depth))
+		switch n.Op {
+		case OpSeqScan, OpIndexScan:
+			fmt.Fprintf(&sb, "%s %s (%.2f%% extents) card=%.3g cost=%.3g\n",
+				n.Op, n.Table, n.ScanFraction*100, n.OutCard, n.SubtreeCost)
+		default:
+			fmt.Fprintf(&sb, "%s card=%.3g cost=%.3g build=%dB\n",
+				n.Op, n.OutCard, n.SubtreeCost, n.BuildBytes)
+		}
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(p.Root, 0)
+	return sb.String()
+}

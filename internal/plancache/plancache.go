@@ -1,0 +1,150 @@
+// Package plancache implements the compiled-plan cache: fingerprint-keyed
+// storage of physical plans with LRU eviction, charged against the machine
+// budget, shrinkable on broker notice.
+//
+// The paper's SALES workload deliberately defeats this cache (every query
+// is uniquified), which is precisely why compilation memory dominates; the
+// OLTP workloads hit it and skip compilation entirely. Both behaviours
+// fall out of the fingerprint.
+package plancache
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"compilegate/internal/mem"
+	"compilegate/internal/plan"
+)
+
+// Cache is the plan cache.
+type Cache struct {
+	tracker *mem.Tracker
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+	target  int64
+
+	hits, misses, inserts, evictions uint64
+}
+
+type entry struct {
+	key   string
+	p     *plan.Plan
+	bytes int64
+	added time.Duration
+}
+
+// New creates a cache charging plans to tracker.
+func New(tracker *mem.Tracker) *Cache {
+	return &Cache{
+		tracker: tracker,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Bytes returns the cache's current memory.
+func (c *Cache) Bytes() int64 { return c.tracker.Used() }
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Hits, Misses, Evictions expose the counters.
+func (c *Cache) Hits() uint64      { return c.hits }
+func (c *Cache) Misses() uint64    { return c.misses }
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// HitRate returns hits/(hits+misses), 0 with no traffic.
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// Get returns the cached plan for the fingerprint, refreshing recency.
+func (c *Cache) Get(key string) (*plan.Plan, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).p, true
+}
+
+// Put caches a plan under the fingerprint at virtual time now. If memory
+// cannot be found even after evicting colder plans the plan is simply not
+// cached (compilation already succeeded; caching is best-effort).
+// Re-putting an existing key refreshes the entry.
+func (c *Cache) Put(key string, p *plan.Plan, now time.Duration) {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	bytes := p.PlanBytes()
+	// Respect the broker target by making room first.
+	if c.target > 0 {
+		for c.Bytes()+bytes > c.target && c.evictOldest() {
+		}
+		if c.Bytes()+bytes > c.target {
+			return
+		}
+	}
+	for c.tracker.Reserve(bytes) != nil {
+		if !c.evictOldest() {
+			return // nothing left to evict; skip caching
+		}
+	}
+	el := c.lru.PushFront(&entry{key: key, p: p, bytes: bytes, added: now})
+	c.entries[key] = el
+	c.inserts++
+}
+
+// evictOldest removes the least-recently-used plan; reports success.
+func (c *Cache) evictOldest() bool {
+	el := c.lru.Back()
+	if el == nil {
+		return false
+	}
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.tracker.Release(e.bytes)
+	c.evictions++
+	return true
+}
+
+// Shrink releases up to want bytes of plans (LRU first), returning the
+// bytes freed. It serves as the cache's mem.Reclaimer and broker handler.
+func (c *Cache) Shrink(want int64) int64 {
+	var freed int64
+	for freed < want {
+		before := c.Bytes()
+		if !c.evictOldest() {
+			break
+		}
+		freed += before - c.Bytes()
+	}
+	return freed
+}
+
+// SetTarget installs the broker target, immediately shrinking to it.
+// Zero clears the target.
+func (c *Cache) SetTarget(target int64) {
+	c.target = target
+	if target > 0 && c.Bytes() > target {
+		c.Shrink(c.Bytes() - target)
+	}
+}
+
+// Target returns the broker target (0 when unset).
+func (c *Cache) Target() int64 { return c.target }
+
+// String summarizes the cache.
+func (c *Cache) String() string {
+	return fmt.Sprintf("plancache: %d plans, %s, hit-rate %.1f%%, evictions %d",
+		c.Len(), mem.FormatBytes(c.Bytes()), c.HitRate()*100, c.evictions)
+}

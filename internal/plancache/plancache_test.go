@@ -1,0 +1,175 @@
+package plancache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"compilegate/internal/mem"
+	"compilegate/internal/plan"
+)
+
+// tinyPlan builds a plan with n nodes (n >= 1, left-deep).
+func tinyPlan(n int) *plan.Plan {
+	root := &plan.Node{Op: plan.OpSeqScan, Table: "t"}
+	for i := 1; i < n; i++ {
+		root = &plan.Node{Op: plan.OpHashJoin, Left: root, Right: &plan.Node{Op: plan.OpSeqScan}}
+		n-- // each join adds two nodes; compensate
+	}
+	return &plan.Plan{Root: root}
+}
+
+func TestGetPutHitMiss(t *testing.T) {
+	b := mem.NewBudget(mem.GiB)
+	c := New(b.NewTracker("plancache"))
+	p := tinyPlan(1)
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("q1", p, 0)
+	got, ok := c.Get("q1")
+	if !ok || got != p {
+		t.Fatal("cached plan not returned")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+	if c.Bytes() != p.PlanBytes() {
+		t.Fatalf("bytes = %d, want %d", c.Bytes(), p.PlanBytes())
+	}
+}
+
+func TestPutDuplicateRefreshes(t *testing.T) {
+	b := mem.NewBudget(mem.GiB)
+	c := New(b.NewTracker("plancache"))
+	p := tinyPlan(1)
+	c.Put("q1", p, 0)
+	c.Put("q1", p, time.Second)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Bytes() != p.PlanBytes() {
+		t.Fatal("duplicate Put double-charged")
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	p := tinyPlan(1)
+	// Budget fits exactly 3 plans.
+	b := mem.NewBudget(3 * p.PlanBytes())
+	c := New(b.NewTracker("plancache"))
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("q%d", i), tinyPlan(1), time.Duration(i))
+	}
+	// Touch q0 so q1 is the LRU.
+	c.Get("q0")
+	c.Put("q3", tinyPlan(1), 10)
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get("q0"); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d", c.Evictions())
+	}
+}
+
+func TestShrink(t *testing.T) {
+	b := mem.NewBudget(mem.GiB)
+	c := New(b.NewTracker("plancache"))
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("q%d", i), tinyPlan(1), time.Duration(i))
+	}
+	before := c.Bytes()
+	freed := c.Shrink(before / 2)
+	if freed < before/2 {
+		t.Fatalf("freed %d of requested %d", freed, before/2)
+	}
+	if c.Bytes() != before-freed {
+		t.Fatal("bytes inconsistent after shrink")
+	}
+	// Oldest (q0...) went first.
+	if _, ok := c.Get("q0"); ok {
+		t.Fatal("oldest survived shrink")
+	}
+	if _, ok := c.Get("q9"); !ok {
+		t.Fatal("newest evicted by shrink")
+	}
+}
+
+func TestSetTargetShrinksAndCaps(t *testing.T) {
+	b := mem.NewBudget(mem.GiB)
+	c := New(b.NewTracker("plancache"))
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("q%d", i), tinyPlan(1), 0)
+	}
+	target := c.Bytes() / 2
+	c.SetTarget(target)
+	if c.Bytes() > target {
+		t.Fatalf("bytes %d > target %d", c.Bytes(), target)
+	}
+	// New puts respect the cap (evict-to-fit).
+	lenBefore := c.Len()
+	c.Put("new", tinyPlan(1), 1)
+	if c.Bytes() > target {
+		t.Fatal("Put grew past target")
+	}
+	if c.Len() != lenBefore {
+		t.Fatalf("len changed unexpectedly: %d -> %d", lenBefore, c.Len())
+	}
+	c.SetTarget(0)
+	if c.Target() != 0 {
+		t.Fatal("target not cleared")
+	}
+}
+
+func TestPutSkipsWhenNoRoom(t *testing.T) {
+	p := tinyPlan(1)
+	b := mem.NewBudget(p.PlanBytes() / 2) // can't fit even one
+	c := New(b.NewTracker("plancache"))
+	c.Put("q", p, 0)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("plan cached despite no memory")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := mem.NewBudget(mem.GiB)
+	c := New(b.NewTracker("plancache"))
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: cache bytes always equal the sum of cached plans' bytes and
+// never exceed the budget; Len matches the LRU list.
+func TestQuickCacheAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := tinyPlan(1)
+		b := mem.NewBudget(5 * p.PlanBytes())
+		c := New(b.NewTracker("plancache"))
+		for i, op := range ops {
+			key := fmt.Sprintf("q%d", op%12)
+			if op%3 == 0 {
+				c.Get(key)
+			} else {
+				c.Put(key, tinyPlan(1), time.Duration(i))
+			}
+			if c.Bytes() != int64(c.Len())*p.PlanBytes() {
+				return false
+			}
+			if c.Bytes() > b.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

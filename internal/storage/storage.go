@@ -1,0 +1,131 @@
+// Package storage maps catalog tables onto a flat extent address space and
+// generates the access patterns the executor drives through the buffer
+// pool.
+//
+// Access patterns are what make the buffer pool matter: repeated ad-hoc
+// DSS queries hit overlapping "hot" regions (recent dates, popular
+// dimensions), so a large pool converts most extent reads into memory
+// hits, while a squeezed pool degrades every query into physical I/O —
+// the mechanism behind the paper's throughput collapse.
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compilegate/internal/catalog"
+)
+
+// ExtentKey identifies one extent globally: table ID in the high bits,
+// extent index within the table in the low bits.
+type ExtentKey uint64
+
+// NewExtentKey packs a table ID and extent index.
+func NewExtentKey(tableID int, extent int64) ExtentKey {
+	return ExtentKey(uint64(tableID)<<40 | uint64(extent))
+}
+
+// TableID unpacks the table ID.
+func (k ExtentKey) TableID() int { return int(uint64(k) >> 40) }
+
+// Extent unpacks the extent index.
+func (k ExtentKey) Extent() int64 { return int64(uint64(k) & (1<<40 - 1)) }
+
+// Layout binds a catalog to the extent address space.
+type Layout struct {
+	cat     *catalog.Catalog
+	extents map[string]int64
+}
+
+// NewLayout builds the layout for a catalog.
+func NewLayout(cat *catalog.Catalog) *Layout {
+	l := &Layout{cat: cat, extents: make(map[string]int64)}
+	for _, t := range cat.Tables() {
+		l.extents[t.Name] = cat.Extents(t)
+	}
+	return l
+}
+
+// Catalog returns the layout's catalog.
+func (l *Layout) Catalog() *catalog.Catalog { return l.cat }
+
+// Extents returns the extent count of a table.
+func (l *Layout) Extents(table string) int64 {
+	n, ok := l.extents[table]
+	if !ok {
+		panic("storage: unknown table " + table)
+	}
+	return n
+}
+
+// TotalExtents returns the database's extent count.
+func (l *Layout) TotalExtents() int64 {
+	var n int64
+	for _, v := range l.extents {
+		n += v
+	}
+	return n
+}
+
+// Pattern describes how scans pick extents.
+type Pattern struct {
+	// HotFraction of each table's extents forms the hot region (recent
+	// data); HotProbability of accesses land there.
+	HotFraction    float64
+	HotProbability float64
+}
+
+// DefaultPattern matches DESIGN.md's calibration: 10% of each table is
+// hot (recent dates, popular dimensions) and draws 85% of the accesses,
+// so a healthy buffer pool converts most reads into hits while a squeezed
+// one degrades to physical I/O.
+func DefaultPattern() Pattern {
+	return Pattern{HotFraction: 0.10, HotProbability: 0.85}
+}
+
+// ScanExtents returns the extents a scan of the given fraction of the
+// table touches, skewed by the pattern. The rng makes different query
+// instances touch different (but overlapping, via the hot region) extent
+// sets deterministically per seed.
+func (l *Layout) ScanExtents(table string, fraction float64, p Pattern, rng *rand.Rand) []ExtentKey {
+	t := l.cat.Table(table)
+	if t == nil {
+		panic("storage: unknown table " + table)
+	}
+	total := l.extents[table]
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := int64(float64(total) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	hot := int64(float64(total) * p.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	if fraction >= 0.999 {
+		// Full scan: every extent once, sequential.
+		keys := make([]ExtentKey, total)
+		for i := int64(0); i < total; i++ {
+			keys[i] = NewExtentKey(t.ID, i)
+		}
+		return keys
+	}
+	keys := make([]ExtentKey, 0, n)
+	for i := int64(0); i < n; i++ {
+		var ext int64
+		if rng.Float64() < p.HotProbability {
+			ext = rng.Int63n(hot)
+		} else {
+			ext = rng.Int63n(total)
+		}
+		keys = append(keys, NewExtentKey(t.ID, ext))
+	}
+	return keys
+}
+
+// String summarizes the layout.
+func (l *Layout) String() string {
+	return fmt.Sprintf("layout: %d tables, %d extents", len(l.extents), l.TotalExtents())
+}

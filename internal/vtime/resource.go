@@ -1,0 +1,129 @@
+package vtime
+
+import "time"
+
+// Semaphore is a FIFO counting semaphore over virtual time. Release hands
+// the slot directly to the longest waiter (no barging), which keeps
+// admission strictly fair — the property the paper's gateways rely on.
+type Semaphore struct {
+	name string
+	cap  int
+	held int
+	q    *WaitQueue
+}
+
+// NewSemaphore returns a semaphore with capacity cap.
+func NewSemaphore(name string, cap int) *Semaphore {
+	if cap < 0 {
+		panic("vtime: negative semaphore capacity")
+	}
+	return &Semaphore{name: name, cap: cap, q: NewWaitQueue(name)}
+}
+
+// Name returns the semaphore's diagnostic name.
+func (m *Semaphore) Name() string { return m.name }
+
+// Cap returns the semaphore's capacity.
+func (m *Semaphore) Cap() int { return m.cap }
+
+// Held returns the number of currently held slots.
+func (m *Semaphore) Held() int { return m.held }
+
+// Waiting returns the number of tasks queued for a slot.
+func (m *Semaphore) Waiting() int { return m.q.Len() }
+
+// SetCap changes the capacity. Growing wakes as many waiters as new slots
+// allow. Shrinking never revokes held slots; the semaphore drains down to
+// the new capacity as holders release.
+func (m *Semaphore) SetCap(newCap int) {
+	if newCap < 0 {
+		panic("vtime: negative semaphore capacity")
+	}
+	m.cap = newCap
+	for m.held < m.cap && m.q.Len() > 0 {
+		m.held++
+		m.q.Signal()
+	}
+}
+
+// TryAcquire acquires a slot without blocking and reports success.
+// It fails if the semaphore is full or other tasks are already queued.
+func (m *Semaphore) TryAcquire() bool {
+	if m.held < m.cap && m.q.Len() == 0 {
+		m.held++
+		return true
+	}
+	return false
+}
+
+// Acquire blocks task t until a slot is available.
+func (m *Semaphore) Acquire(t *Task) {
+	if m.TryAcquire() {
+		return
+	}
+	m.q.Wait(t)
+	// Slot was transferred by Release/SetCap before the wakeup.
+}
+
+// AcquireTimeout blocks for at most d and reports whether the slot was
+// acquired.
+func (m *Semaphore) AcquireTimeout(t *Task, d time.Duration) bool {
+	if m.TryAcquire() {
+		return true
+	}
+	return m.q.WaitTimeout(t, d)
+}
+
+// Release returns a slot. If tasks are waiting and capacity allows, the
+// slot is handed to the longest waiter without decrementing held.
+func (m *Semaphore) Release() {
+	if m.held <= 0 {
+		panic("vtime: Release of unheld semaphore " + m.name)
+	}
+	if m.held <= m.cap && m.q.Signal() {
+		return // slot transferred to the woken waiter
+	}
+	m.held--
+}
+
+// CPUSet models a pool of processors with FCFS quantum scheduling: a task
+// consuming CPU repeatedly claims a processor for one quantum. This
+// approximates processor sharing closely enough for throughput modelling
+// while keeping event counts low.
+type CPUSet struct {
+	sem     *Semaphore
+	quantum time.Duration
+	busy    time.Duration // aggregate CPU time consumed
+}
+
+// NewCPUSet creates a CPU pool with n processors and the given scheduling
+// quantum (e.g. 50ms).
+func NewCPUSet(n int, quantum time.Duration) *CPUSet {
+	if quantum <= 0 {
+		panic("vtime: non-positive CPU quantum")
+	}
+	return &CPUSet{sem: NewSemaphore("cpu", n), quantum: quantum}
+}
+
+// N returns the number of processors.
+func (c *CPUSet) N() int { return c.sem.Cap() }
+
+// BusyTime returns the aggregate CPU time consumed so far across all
+// processors.
+func (c *CPUSet) BusyTime() time.Duration { return c.busy }
+
+// Use consumes d of CPU time on behalf of t, competing with other tasks
+// for the processors.
+func (c *CPUSet) Use(t *Task, d time.Duration) {
+	for d > 0 {
+		q := c.quantum
+		if d < q {
+			q = d
+		}
+		c.sem.Acquire(t)
+		t.Sleep(q)
+		c.sem.Release()
+		c.busy += q
+		d -= q
+	}
+}

@@ -1,0 +1,311 @@
+// Package vtime provides a deterministic, cooperative virtual-time
+// scheduler used to run the simulated DBMS.
+//
+// All "concurrency" in the simulation is expressed as vtime tasks. Exactly
+// one task executes at any instant (the scheduler and the running task hand
+// control back and forth over channels), so runs are fully deterministic:
+// the same program produces the same interleaving and the same virtual
+// timestamps on every run, regardless of GOMAXPROCS or host load.
+//
+// Tasks block by sleeping (Task.Sleep) or by waiting on a WaitQueue; when no
+// task is runnable the scheduler advances the virtual clock to the next
+// timer. Wall-clock time never matters: a five-hour benchmark window
+// executes in however long the event processing takes.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scheduler owns the virtual clock and the run queue. Create one with
+// NewScheduler, add tasks with Go, and drive everything with Run.
+type Scheduler struct {
+	now     time.Duration
+	runq    []*Task
+	timers  timerHeap
+	live    int // tasks started and not yet exited
+	blocked map[*Task]struct{}
+	seq     uint64
+
+	yield   chan struct{} // running task -> scheduler: "I parked or exited"
+	running *Task
+}
+
+// NewScheduler returns a scheduler with the virtual clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		yield:   make(chan struct{}),
+		blocked: make(map[*Task]struct{}),
+	}
+}
+
+// Now reports the current virtual time. It may be called from task context
+// or, between Run invocations, from the host goroutine.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Live reports the number of tasks that have been started and not yet
+// finished.
+func (s *Scheduler) Live() int { return s.live }
+
+// Go creates a new task named name executing fn and schedules it to run.
+// The name is used only for diagnostics (deadlock reports). Go may be
+// called from the host goroutine before Run, or from a running task.
+func (s *Scheduler) Go(name string, fn func(*Task)) *Task {
+	s.seq++
+	t := &Task{
+		s:      s,
+		name:   name,
+		id:     s.seq,
+		resume: make(chan struct{}),
+	}
+	s.live++
+	s.runq = append(s.runq, t)
+	go func() {
+		<-t.resume
+		fn(t)
+		t.exited = true
+		s.live--
+		s.yield <- struct{}{}
+	}()
+	return t
+}
+
+// ErrDeadlock is returned by Run when live tasks remain but none is
+// runnable and no timer is pending.
+type ErrDeadlock struct {
+	Now     time.Duration
+	Blocked []string // names of blocked tasks
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("vtime: deadlock at %v: %d task(s) blocked forever: %s",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run executes tasks until every task has exited. It returns an
+// *ErrDeadlock if tasks remain blocked with no pending timer. Run must be
+// called from the host goroutine (not from a task).
+func (s *Scheduler) Run() error {
+	for {
+		if len(s.runq) == 0 {
+			if s.timers.Len() == 0 {
+				if s.live == 0 {
+					return nil
+				}
+				names := make([]string, 0, len(s.blocked))
+				for t := range s.blocked {
+					names = append(names, t.name)
+				}
+				sort.Strings(names)
+				return &ErrDeadlock{Now: s.now, Blocked: names}
+			}
+			// Advance the clock to the next timer and fire everything
+			// due at that instant.
+			s.now = s.timers[0].wakeAt
+			for s.timers.Len() > 0 && s.timers[0].wakeAt == s.now {
+				tm := heap.Pop(&s.timers).(*timer)
+				t := tm.task
+				t.timer = nil
+				if t.queue != nil {
+					// Waiting with timeout: the timeout fired first.
+					t.queue.remove(t)
+					t.queue = nil
+					t.timedOut = true
+				}
+				s.makeRunnable(t)
+			}
+		}
+		t := s.runq[0]
+		s.runq = s.runq[1:]
+		s.running = t
+		t.resume <- struct{}{}
+		<-s.yield
+		s.running = nil
+	}
+}
+
+func (s *Scheduler) makeRunnable(t *Task) {
+	delete(s.blocked, t)
+	s.runq = append(s.runq, t)
+}
+
+// Task is a cooperative thread of execution under a Scheduler. All Task
+// methods must be called from the task's own function.
+type Task struct {
+	s      *Scheduler
+	name   string
+	id     uint64
+	resume chan struct{}
+
+	// Blocking bookkeeping, owned by the scheduler/running task.
+	timer    *timer
+	queue    *WaitQueue
+	timedOut bool
+	exited   bool
+}
+
+// Name returns the diagnostic name the task was created with.
+func (t *Task) Name() string { return t.name }
+
+// ID returns the task's unique creation sequence number.
+func (t *Task) ID() uint64 { return t.id }
+
+// Now reports the current virtual time.
+func (t *Task) Now() time.Duration { return t.s.now }
+
+// Scheduler returns the scheduler this task belongs to.
+func (t *Task) Scheduler() *Scheduler { return t.s }
+
+// park hands control to the scheduler and blocks until resumed.
+func (t *Task) park() {
+	t.s.yield <- struct{}{}
+	<-t.resume
+}
+
+// Yield reschedules the task at the back of the run queue, letting other
+// runnable tasks execute at the same virtual instant.
+func (t *Task) Yield() {
+	t.s.runq = append(t.s.runq, t)
+	t.park()
+}
+
+// Sleep blocks the task for d of virtual time. Non-positive d yields.
+func (t *Task) Sleep(d time.Duration) {
+	if d <= 0 {
+		t.Yield()
+		return
+	}
+	t.s.addTimer(t, t.s.now+d)
+	t.s.blocked[t] = struct{}{}
+	t.park()
+}
+
+// SleepUntil blocks until the virtual clock reaches at.
+func (t *Task) SleepUntil(at time.Duration) {
+	t.Sleep(at - t.s.now)
+}
+
+type timer struct {
+	wakeAt time.Duration
+	seq    uint64
+	task   *Task
+	index  int
+}
+
+func (s *Scheduler) addTimer(t *Task, at time.Duration) {
+	s.seq++
+	tm := &timer{wakeAt: at, seq: s.seq, task: t}
+	t.timer = tm
+	heap.Push(&s.timers, tm)
+}
+
+func (s *Scheduler) cancelTimer(t *Task) {
+	if t.timer != nil {
+		heap.Remove(&s.timers, t.timer.index)
+		t.timer = nil
+	}
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].wakeAt != h[j].wakeAt {
+		return h[i].wakeAt < h[j].wakeAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	tm := x.(*timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tm
+}
+
+// WaitQueue is a FIFO condition queue. Tasks block on it with Wait or
+// WaitTimeout; other tasks wake them with Signal or Broadcast. A WaitQueue
+// must only be used by tasks of a single scheduler.
+type WaitQueue struct {
+	name    string
+	waiters []*Task
+}
+
+// NewWaitQueue returns an empty wait queue; name is used in diagnostics.
+func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
+
+// Name returns the queue's diagnostic name.
+func (q *WaitQueue) Name() string { return q.name }
+
+// Len reports the number of tasks currently waiting.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait blocks t until another task calls Signal or Broadcast.
+func (q *WaitQueue) Wait(t *Task) {
+	t.queue = q
+	q.waiters = append(q.waiters, t)
+	t.s.blocked[t] = struct{}{}
+	t.park()
+}
+
+// WaitTimeout blocks t until signaled or until d of virtual time has
+// elapsed. It reports true if the task was signaled and false on timeout.
+func (q *WaitQueue) WaitTimeout(t *Task, d time.Duration) bool {
+	if d <= 0 {
+		return false
+	}
+	t.timedOut = false
+	t.queue = q
+	q.waiters = append(q.waiters, t)
+	t.s.addTimer(t, t.s.now+d)
+	t.s.blocked[t] = struct{}{}
+	t.park()
+	return !t.timedOut
+}
+
+// Signal wakes the longest-waiting task, if any, and reports whether a
+// task was woken. It must be called from a running task.
+func (q *WaitQueue) Signal() bool {
+	for len(q.waiters) > 0 {
+		t := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		t.queue = nil
+		t.s.cancelTimer(t)
+		t.s.makeRunnable(t)
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes every waiting task and returns how many were woken.
+func (q *WaitQueue) Broadcast() int {
+	n := 0
+	for q.Signal() {
+		n++
+	}
+	return n
+}
+
+func (q *WaitQueue) remove(t *Task) {
+	for i, w := range q.waiters {
+		if w == t {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"compilegate/internal/vtime"
+)
+
+// Submitter runs one query end to end on behalf of a client task,
+// returning the engine's error (compile OOM, gateway timeout, grant
+// timeout, ...). The engine's Server implements it.
+type Submitter interface {
+	Submit(t *vtime.Task, sql string) error
+}
+
+// LoadConfig shapes the closed-loop client population (§5.2's custom load
+// generator simulating concurrent database users).
+type LoadConfig struct {
+	// Clients is the number of concurrent users.
+	Clients int
+	// Horizon: clients stop submitting new queries at this virtual time
+	// (in-flight queries run to completion).
+	Horizon time.Duration
+	// ThinkTime separates a client's queries.
+	ThinkTime time.Duration
+	// MaxRetries bounds resubmission of a failed query; the paper notes
+	// aborted queries "likely need to be resubmitted to the system".
+	MaxRetries int
+	// RetryBackoff separates retries.
+	RetryBackoff time.Duration
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// DefaultLoadConfig mirrors the paper's setup at the given client count.
+func DefaultLoadConfig(clients int) LoadConfig {
+	return LoadConfig{
+		Clients:      clients,
+		Horizon:      2 * time.Hour,
+		ThinkTime:    2 * time.Second,
+		MaxRetries:   2,
+		RetryBackoff: 5 * time.Second,
+		Seed:         1,
+	}
+}
+
+// LoadStats aggregates client-side counters.
+type LoadStats struct {
+	Submitted int
+	Succeeded int
+	Failed    int // failures after exhausting retries
+	Retries   int
+}
+
+// Run spawns cfg.Clients client tasks against sub. onAllDone (may be nil)
+// fires from the last client to finish — use it to stop engine
+// housekeeping. Returns the shared stats structure, filled in as the
+// simulation runs.
+func Run(sched *vtime.Scheduler, sub Submitter, gen Generator, cfg LoadConfig, onAllDone func()) *LoadStats {
+	stats := &LoadStats{}
+	remaining := cfg.Clients
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		sched.Go("client", func(t *vtime.Task) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			// Stagger arrival so clients don't align on the same instant.
+			t.Sleep(time.Duration(i) * 250 * time.Millisecond)
+			for t.Now() < cfg.Horizon {
+				sql := gen.Next(rng)
+				stats.Submitted++
+				err := sub.Submit(t, sql)
+				retries := 0
+				for err != nil && retries < cfg.MaxRetries && t.Now() < cfg.Horizon {
+					retries++
+					stats.Retries++
+					t.Sleep(cfg.RetryBackoff)
+					err = sub.Submit(t, sql)
+				}
+				if err != nil {
+					stats.Failed++
+				} else {
+					stats.Succeeded++
+				}
+				t.Sleep(cfg.ThinkTime)
+			}
+			remaining--
+			if remaining == 0 && onAllDone != nil {
+				onAllDone()
+			}
+		})
+	}
+	return stats
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"compilegate/internal/catalog"
+	"compilegate/internal/sqlparser"
+	"compilegate/internal/stats"
+	"compilegate/internal/vtime"
+
+	"compilegate/internal/optimizer"
+)
+
+func TestSalesTemplatesParseAndJoinCounts(t *testing.T) {
+	s := NewSales()
+	if s.Templates() != 10 {
+		t.Fatalf("templates = %d, paper says 10", s.Templates())
+	}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		sql := s.Next(rng)
+		q, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatalf("template produced unparseable SQL: %v\n%s", err, sql)
+		}
+		nj := q.NumJoins()
+		if nj < 15 || nj > 20 {
+			t.Fatalf("join count = %d, paper says 15-20\n%s", nj, sql)
+		}
+		seen[nj] = true
+		if q.Aggregates == 0 {
+			t.Fatal("no aggregates")
+		}
+		if len(q.GroupBy) == 0 {
+			t.Fatal("no GROUP BY")
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid query: %v", err)
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("join-count variety too small: %v", seen)
+	}
+}
+
+func TestSalesQueriesOptimizeAgainstCatalog(t *testing.T) {
+	cat := catalog.NewSales(catalog.SalesConfig{Scale: 0.01, ExtentBytes: 8 << 20})
+	opt := optimizer.New(stats.NewEstimator(cat), optimizer.DefaultConfig())
+	s := NewSales()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		sql := s.Next(rng)
+		q, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt.Optimize(q, optimizer.Hooks{}); err != nil {
+			t.Fatalf("optimize failed: %v\n%s", err, sql)
+		}
+	}
+}
+
+func TestSalesUniquification(t *testing.T) {
+	s := NewSales()
+	rng := rand.New(rand.NewSource(3))
+	fps := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		fp := sqlparser.Fingerprint(s.Next(rng))
+		if fps[fp] {
+			t.Fatal("duplicate fingerprint: uniquifier broken")
+		}
+		fps[fp] = true
+	}
+	s.Uniquify = false
+	// Without uniquification duplicates are possible (same template+literals
+	// unlikely, but the counter comment must be gone).
+	if strings.Contains(s.Next(rng), "/* u") {
+		t.Fatal("uniquifier comment present with Uniquify=false")
+	}
+}
+
+func TestHeavyTemplatesAreRare(t *testing.T) {
+	s := NewSales()
+	rng := rand.New(rand.NewSource(4))
+	heavy := 0
+	n := 3000
+	for i := 0; i < n; i++ {
+		sql := s.Next(rng)
+		// Only the heavy templates can scan > 19% of the date domain.
+		q, _ := sqlparser.Parse(sql)
+		for _, p := range q.Table("sales_fact").Preds {
+			if p.Op == "between" && float64(p.Hi-p.Lo) > 0.19*float64(dateDomain) {
+				heavy++
+			}
+		}
+	}
+	frac := float64(heavy) / float64(n)
+	if frac == 0 || frac > 0.08 {
+		t.Fatalf("very-wide-scan fraction = %v, want rare but nonzero (~%v of draws are heavy)", frac, heavyProb)
+	}
+}
+
+func TestTPCHJoinRange(t *testing.T) {
+	g := NewTPCH()
+	cat := catalog.NewTPCHLike(0.001, 8<<20)
+	opt := optimizer.New(stats.NewEstimator(cat), optimizer.DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		sql := g.Next(rng)
+		q, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, sql)
+		}
+		if q.NumJoins() > 8 {
+			t.Fatalf("tpch joins = %d, paper says 0-8", q.NumJoins())
+		}
+		if _, err := opt.Optimize(q, optimizer.Hooks{}); err != nil {
+			t.Fatalf("optimize: %v\n%s", err, sql)
+		}
+	}
+}
+
+func TestOLTPSmallAndCacheable(t *testing.T) {
+	g := NewOLTP()
+	rng := rand.New(rand.NewSource(6))
+	fps := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		sql := g.Next(rng)
+		q, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Tables) > 2 {
+			t.Fatalf("oltp query touches %d tables", len(q.Tables))
+		}
+		fps[sqlparser.Fingerprint(sql)] = true
+	}
+	if len(fps) > g.DistinctStatements {
+		t.Fatalf("distinct statements = %d > %d: cache cannot work", len(fps), g.DistinctStatements)
+	}
+}
+
+func TestMix(t *testing.T) {
+	m := NewMix([]Generator{NewOLTP(), NewSales()}, []int{3, 1})
+	rng := rand.New(rand.NewSource(7))
+	oltp := 0
+	for i := 0; i < 400; i++ {
+		if !strings.Contains(m.Next(rng), "sales_fact") {
+			oltp++
+		}
+	}
+	if oltp < 220 || oltp > 380 {
+		t.Fatalf("oltp share = %d/400, want ~300", oltp)
+	}
+	if !strings.Contains(m.Name(), "oltp") || !strings.Contains(m.Name(), "sales") {
+		t.Fatalf("mix name = %q", m.Name())
+	}
+}
+
+type fakeSubmitter struct {
+	calls  int
+	failAt map[int]bool
+}
+
+func (f *fakeSubmitter) Submit(t *vtime.Task, sql string) error {
+	f.calls++
+	t.Sleep(time.Second)
+	if f.failAt[f.calls] {
+		return errFake
+	}
+	return nil
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }
+
+func TestLoadGeneratorRunsClients(t *testing.T) {
+	sched := vtime.NewScheduler()
+	sub := &fakeSubmitter{failAt: map[int]bool{}}
+	cfg := LoadConfig{
+		Clients: 5, Horizon: time.Minute, ThinkTime: time.Second,
+		MaxRetries: 1, RetryBackoff: time.Second, Seed: 1,
+	}
+	done := false
+	stats := Run(sched, sub, NewOLTP(), cfg, func() { done = true })
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("onAllDone never fired")
+	}
+	if stats.Submitted == 0 || stats.Succeeded != stats.Submitted {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestLoadGeneratorRetries(t *testing.T) {
+	sched := vtime.NewScheduler()
+	sub := &fakeSubmitter{failAt: map[int]bool{1: true, 2: true, 3: true, 4: true}}
+	cfg := LoadConfig{
+		Clients: 1, Horizon: 30 * time.Second, ThinkTime: time.Second,
+		MaxRetries: 2, RetryBackoff: time.Second, Seed: 1,
+	}
+	stats := Run(sched, sub, NewOLTP(), cfg, nil)
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First query fails 3 times (initial + 2 retries) => Failed 1; the
+	// 4th call is the second query's first attempt, which also fails and
+	// is retried once (call 5 succeeds).
+	if stats.Failed != 1 {
+		t.Fatalf("failed = %d, want 1 (stats %+v)", stats.Failed, stats)
+	}
+	if stats.Retries < 3 {
+		t.Fatalf("retries = %d, want >= 3", stats.Retries)
+	}
+}
+
+func TestLoadHorizonStopsClients(t *testing.T) {
+	sched := vtime.NewScheduler()
+	sub := &fakeSubmitter{failAt: map[int]bool{}}
+	cfg := LoadConfig{Clients: 3, Horizon: 10 * time.Second, ThinkTime: time.Second, Seed: 1}
+	Run(sched, sub, NewOLTP(), cfg, nil)
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Now() > 15*time.Second {
+		t.Fatalf("clients ran past horizon: %v", sched.Now())
+	}
+}
