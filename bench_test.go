@@ -1,8 +1,11 @@
 // Benchmarks regenerating every figure and headline claim in the paper's
 // evaluation (§5), plus ablations of the design choices called out in
-// DESIGN.md. Each benchmark runs complete simulations in virtual time; the
-// reported custom metrics (completions, ratios, error counts) are the
-// quantities the paper's figures plot. Wall-clock ns/op is incidental.
+// DESIGN.md. Each benchmark resolves its experiment through the scenario
+// layer and runs complete simulations in virtual time; independent runs
+// within a benchmark execute concurrently through the sweep runner, so
+// wall-clock cost drops by roughly the core count. The reported custom
+// metrics (completions, ratios, error counts) are the quantities the
+// paper's figures plot. Wall-clock ns/op is incidental.
 //
 // The benchmarks use a compressed 2-hour window (30-minute warmup) so the
 // whole suite completes in minutes; cmd/figures regenerates the paper's
@@ -11,6 +14,7 @@ package compilegate
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 	"time"
 
@@ -21,28 +25,46 @@ import (
 	"compilegate/internal/harness"
 	"compilegate/internal/mem"
 	"compilegate/internal/optimizer"
+	"compilegate/internal/scenario"
 	"compilegate/internal/sqlparser"
 	"compilegate/internal/stats"
 	"compilegate/internal/vtime"
 	"compilegate/internal/workload"
 )
 
-// benchWindow is the compressed measurement window used by the suite.
-func benchOptions(clients int, throttled bool) harness.Options {
-	o := harness.DefaultOptions(clients)
-	o.Horizon = 2 * time.Hour
-	o.Warmup = 30 * time.Minute
-	o.Throttled = throttled
-	return o
+// benchWindow compresses a scenario to the suite's measurement window.
+func benchWindow(s scenario.Scenario) scenario.Scenario {
+	return s.WithWindow(2*time.Hour, 30*time.Minute)
 }
 
-func mustRun(b *testing.B, o harness.Options) *harness.Result {
+// benchScenario is the SALES configuration at the given client count on
+// the compressed window.
+func benchScenario(clients int) scenario.Scenario {
+	return benchWindow(scenario.Sales(clients))
+}
+
+// registered resolves a registry scenario on the compressed window.
+func registered(b *testing.B, name string) scenario.Scenario {
 	b.Helper()
-	r, err := harness.Run(o)
-	if err != nil {
-		b.Fatal(err)
+	s, ok := scenario.Get(name)
+	if !ok {
+		b.Fatalf("scenario %s not registered", name)
 	}
-	return r
+	return benchWindow(s)
+}
+
+// mustSweep runs scenarios concurrently, failing the benchmark on any
+// error, and returns results in input order.
+func mustSweep(b *testing.B, scenarios ...scenario.Scenario) []*harness.Result {
+	b.Helper()
+	out := make([]*harness.Result, len(scenarios))
+	for i, sr := range scenario.RunSweep(scenarios, 0) {
+		if sr.Err != nil {
+			b.Fatalf("%s: %v", sr.Scenario.Name, sr.Err)
+		}
+		out[i] = sr.Result
+	}
+	return out
 }
 
 // BenchmarkFigure1MonitorLadder verifies and reports the monitor ladder:
@@ -105,11 +127,13 @@ func BenchmarkFigure2ThrottleTrace(b *testing.B) {
 	}
 }
 
-// throughputFigure runs one paper throughput figure (3, 4 or 5).
+// throughputFigure runs one paper throughput figure (3, 4 or 5): the
+// throttled scenario and its baseline sweep concurrently.
 func throughputFigure(b *testing.B, clients int) {
 	for i := 0; i < b.N; i++ {
-		th := mustRun(b, benchOptions(clients, true))
-		ba := mustRun(b, benchOptions(clients, false))
+		s := benchScenario(clients)
+		res := mustSweep(b, s, s.Baseline())
+		th, ba := res[0], res[1]
 		ratio, _ := harness.Compare(th, ba)
 		b.ReportMetric(float64(th.Completed), "throttled-completions")
 		b.ReportMetric(float64(ba.Completed), "baseline-completions")
@@ -131,12 +155,16 @@ func BenchmarkFigure5Throughput40(b *testing.B) { throughputFigure(b, 40) }
 
 // BenchmarkClientSweep reproduces the §5.2 observation that 30 clients is
 // the maximum-throughput point: fewer clients yield less throughput, more
-// clients saturate the server.
+// clients saturate the server. All four populations run concurrently.
 func BenchmarkClientSweep(b *testing.B) {
+	counts := []int{10, 20, 30, 40}
 	for i := 0; i < b.N; i++ {
-		for _, clients := range []int{10, 20, 30, 40} {
-			r := mustRun(b, benchOptions(clients, true))
-			b.ReportMetric(float64(r.Completed), "completions-"+itoa(clients))
+		scenarios := make([]scenario.Scenario, len(counts))
+		for j, clients := range counts {
+			scenarios[j] = benchScenario(clients)
+		}
+		for j, r := range mustSweep(b, scenarios...) {
+			b.ReportMetric(float64(r.Completed), "completions-"+strconv.Itoa(counts[j]))
 		}
 	}
 }
@@ -146,12 +174,12 @@ func BenchmarkClientSweep(b *testing.B) {
 // errors) under overload.
 func BenchmarkCompletionRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, clients := range []int{30, 40} {
-			th := mustRun(b, benchOptions(clients, true))
-			ba := mustRun(b, benchOptions(clients, false))
-			b.ReportMetric(completionRate(th), "throttled-rate-"+itoa(clients))
-			b.ReportMetric(completionRate(ba), "baseline-rate-"+itoa(clients))
-		}
+		s30, s40 := benchScenario(30), benchScenario(40)
+		res := mustSweep(b, s30, s30.Baseline(), s40, s40.Baseline())
+		b.ReportMetric(completionRate(res[0]), "throttled-rate-30")
+		b.ReportMetric(completionRate(res[1]), "baseline-rate-30")
+		b.ReportMetric(completionRate(res[2]), "throttled-rate-40")
+		b.ReportMetric(completionRate(res[3]), "baseline-rate-40")
 	}
 }
 
@@ -211,7 +239,7 @@ func BenchmarkCompileMemoryByWorkload(b *testing.B) {
 // 10-90 s and executions of 30 s - 10 min.
 func BenchmarkQueryProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := mustRun(b, benchOptions(30, true))
+		r := mustSweep(b, benchScenario(30))[0]
 		b.ReportMetric(r.CompileP50.Seconds(), "compile-p50-s")
 		b.ReportMetric(r.ExecP50.Seconds(), "exec-p50-s")
 		if r.CompileP50 < time.Second || r.CompileP50 > 5*time.Minute {
@@ -227,34 +255,19 @@ func BenchmarkQueryProfile(b *testing.B) {
 
 // BenchmarkAblationMonitorCount compares 1-, 2-, 3- and 5-monitor
 // ladders; the paper chose three monitors ("four memory usage
-// categories") as the best balance.
+// categories") as the best balance. The ladder variants come from the
+// scenario registry and all four servers run concurrently.
 func BenchmarkAblationMonitorCount(b *testing.B) {
-	ladders := map[string]gateway.Config{
-		"1": {Levels: []gateway.LevelConfig{
-			{Name: "only", Threshold: 380 * mem.KiB, Slots: 8, Timeout: 12 * time.Minute},
-		}},
-		"2": {Levels: []gateway.LevelConfig{
-			{Name: "small", Threshold: 380 * mem.KiB, Slots: 32, Timeout: 6 * time.Minute},
-			{Name: "big", Threshold: 256 * mem.MiB, Slots: 1, Timeout: 24 * time.Minute},
-		}},
-		"3": gateway.DefaultConfig(8, 4*mem.GiB),
-		"5": {Levels: []gateway.LevelConfig{
-			{Name: "xs", Threshold: 380 * mem.KiB, Slots: 32, Timeout: 6 * time.Minute},
-			{Name: "s", Threshold: 16 * mem.MiB, Slots: 16, Timeout: 8 * time.Minute},
-			{Name: "m", Threshold: 43 * mem.MiB, Slots: 8, Timeout: 12 * time.Minute},
-			{Name: "l", Threshold: 128 * mem.MiB, Slots: 4, Timeout: 16 * time.Minute},
-			{Name: "xl", Threshold: 256 * mem.MiB, Slots: 1, Timeout: 24 * time.Minute},
-		}},
-	}
 	for i := 0; i < b.N; i++ {
-		for _, name := range []string{"1", "2", "3", "5"} {
-			cfg := engine.DefaultConfig()
-			ladder := ladders[name]
-			cfg.GatewayOverride = &ladder
-			o := benchOptions(30, true)
-			o.Engine = &cfg
-			r := mustRun(b, o)
-			b.ReportMetric(float64(r.Completed), "completions-"+name+"mon")
+		scenarios := []scenario.Scenario{
+			registered(b, "monitors-1"),
+			registered(b, "monitors-2"),
+			benchScenario(30), // the paper's 3-monitor default
+			registered(b, "monitors-5"),
+		}
+		names := []string{"1", "2", "3", "5"}
+		for j, r := range mustSweep(b, scenarios...) {
+			b.ReportMetric(float64(r.Completed), "completions-"+names[j]+"mon")
 		}
 	}
 }
@@ -263,19 +276,14 @@ func BenchmarkAblationMonitorCount(b *testing.B) {
 // thresholds against static ones.
 func BenchmarkAblationDynamicThresholds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, dyn := range []bool{true, false} {
-			cfg := engine.DefaultConfig()
-			cfg.DynamicThresholds = dyn
-			o := benchOptions(35, true)
-			o.Engine = &cfg
-			r := mustRun(b, o)
-			key := "static"
-			if dyn {
-				key = "dynamic"
-			}
-			b.ReportMetric(float64(r.Completed), "completions-"+key)
-			b.ReportMetric(float64(r.Errors), "errors-"+key)
-		}
+		dynamic := benchScenario(35)
+		static := benchScenario(35)
+		static.Engine = func(c *engine.Config) { c.DynamicThresholds = false }
+		res := mustSweep(b, dynamic, static)
+		b.ReportMetric(float64(res[0].Completed), "completions-dynamic")
+		b.ReportMetric(float64(res[0].Errors), "errors-dynamic")
+		b.ReportMetric(float64(res[1].Completed), "completions-static")
+		b.ReportMetric(float64(res[1].Errors), "errors-static")
 	}
 }
 
@@ -283,17 +291,9 @@ func BenchmarkAblationDynamicThresholds(b *testing.B) {
 // against plain out-of-memory failures on a memory-starved machine.
 func BenchmarkAblationBestEffortPlan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, be := range []bool{true, false} {
-			cfg := engine.DefaultConfig()
-			cfg.BestEffort = be
-			cfg.MemoryBytes = 2 * mem.GiB // starved: exhaustion signal fires
-			o := benchOptions(30, true)
-			o.Engine = &cfg
-			r := mustRun(b, o)
-			key := "off"
-			if be {
-				key = "on"
-			}
+		res := mustSweep(b, registered(b, "best-effort"), registered(b, "best-effort-off"))
+		for j, key := range []string{"on", "off"} {
+			r := res[j]
 			b.ReportMetric(float64(r.Completed), "completions-besteffort-"+key)
 			b.ReportMetric(float64(r.ErrorsByKind[engine.ErrKindOOM]), "oom-besteffort-"+key)
 			b.ReportMetric(float64(r.BestEffortPlans), "besteffort-plans-"+key)
@@ -306,9 +306,7 @@ func BenchmarkAblationBestEffortPlan(b *testing.B) {
 // system is saturated with large compilations.
 func BenchmarkAblationBypass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		o := benchOptions(24, true)
-		o.Workload = "mix"
-		r := mustRun(b, o)
+		r := mustSweep(b, registered(b, "oltp-mix"))[0]
 		b.ReportMetric(float64(r.Completed), "mix-completions")
 		b.ReportMetric(float64(r.GatewayTimeouts), "gateway-timeouts")
 	}
@@ -318,31 +316,8 @@ func BenchmarkAblationBypass(b *testing.B) {
 // compilation throttling (ablation A-5).
 func BenchmarkAblationBrokerOnly(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, brokerOn := range []bool{true, false} {
-			cfg := engine.DefaultConfig()
-			cfg.BrokerEnabled = brokerOn
-			o := benchOptions(30, false) // throttle off in both
-			o.Engine = &cfg
-			r := mustRun(b, o)
-			key := "off"
-			if brokerOn {
-				key = "on"
-			}
-			b.ReportMetric(float64(r.Completed), "completions-broker-"+key)
-		}
+		res := mustSweep(b, registered(b, "broker-only"), registered(b, "no-governance"))
+		b.ReportMetric(float64(res[0].Completed), "completions-broker-on")
+		b.ReportMetric(float64(res[1].Completed), "completions-broker-off")
 	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

@@ -3,9 +3,16 @@
 // throttled-vs-baseline throughput series at 30/35/40 clients
 // (Figs. 3-5), plus the headline numbers quoted in the text.
 //
+// Experiments resolve from the scenario registry, and every
+// throttled/baseline pair runs concurrently through the sweep runner —
+// `-figure all` executes all six throughput runs in parallel on real
+// cores.
+//
 // Usage:
 //
-//	figures [-quick] [-figure all|1|2|3|4|5]
+//	figures [-quick] [-figure all|1|2|3|4|5] [-workers N]
+//	figures -list
+//	figures -scenario oltp-mix
 //
 // -quick shrinks the simulation window so a full regeneration finishes in
 // well under a minute of wall-clock time.
@@ -18,18 +25,29 @@ import (
 	"time"
 
 	"compilegate"
-
-	"compilegate/internal/harness"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "short simulation window")
 	fig := flag.String("figure", "all", "which figure to regenerate")
+	scen := flag.String("scenario", "", "run one registered scenario (with its baseline) instead of a figure")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
 	flag.Parse()
 
-	horizon, warmup := 8*time.Hour, 3*time.Hour
-	if *quick {
-		horizon, warmup = 2*time.Hour, 30*time.Minute
+	if *list {
+		fmt.Print(compilegate.ListScenarios())
+		return
+	}
+	if *scen != "" {
+		s, ok := compilegate.ScenarioByName(*scen)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown scenario %q; -list shows the registry\n", *scen)
+			os.Exit(2)
+		}
+		fmt.Printf("== Scenario %s: %s ==\n", s.Name, s.Description)
+		renderPair(runPair(shrink(s, *quick), *workers))
+		return
 	}
 
 	switch *fig {
@@ -37,22 +55,75 @@ func main() {
 		figure1()
 	case "2":
 		figure2()
-	case "3":
-		throughputFigure(3, 30, horizon, warmup)
-	case "4":
-		throughputFigure(4, 35, horizon, warmup)
-	case "5":
-		throughputFigure(5, 40, horizon, warmup)
+	case "3", "4", "5":
+		n := int((*fig)[0] - '0')
+		s := figureScenario(n, *quick)
+		fmt.Printf("== Figure %d: throughput, %d clients ==\n", n, s.Clients)
+		renderPair(runPair(s, *workers))
 	case "all":
 		figure1()
 		figure2()
-		throughputFigure(3, 30, horizon, warmup)
-		throughputFigure(4, 35, horizon, warmup)
-		throughputFigure(5, 40, horizon, warmup)
+		// All three throughput figures — six independent simulations —
+		// sweep concurrently.
+		var scenarios []compilegate.Scenario
+		for n := 3; n <= 5; n++ {
+			s := figureScenario(n, *quick)
+			scenarios = append(scenarios, s, s.Baseline())
+		}
+		results := compilegate.RunSweep(scenarios, *workers)
+		for i := 0; i < len(results); i += 2 {
+			s := results[i].Scenario
+			fmt.Printf("== Figure %d: throughput, %d clients ==\n", 3+i/2, s.Clients)
+			renderPair([2]compilegate.SweepResult{results[i], results[i+1]})
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "figures: unknown -figure", *fig)
 		os.Exit(2)
 	}
+}
+
+// figureScenario resolves one throughput figure from the registry.
+func figureScenario(n int, quick bool) compilegate.Scenario {
+	name := fmt.Sprintf("figure%d", n)
+	s, ok := compilegate.ScenarioByName(name)
+	if !ok {
+		panic("figures: " + name + " not registered")
+	}
+	return shrink(s, quick)
+}
+
+func shrink(s compilegate.Scenario, quick bool) compilegate.Scenario {
+	if quick && s.Horizon > 2*time.Hour {
+		return s.WithWindow(2*time.Hour, 30*time.Minute)
+	}
+	return s
+}
+
+// runPair executes a scenario and its unthrottled baseline concurrently.
+func runPair(s compilegate.Scenario, workers int) [2]compilegate.SweepResult {
+	res := compilegate.RunSweep([]compilegate.Scenario{s, s.Baseline()}, workers)
+	return [2]compilegate.SweepResult{res[0], res[1]}
+}
+
+// renderPair prints the throttled and baseline series side by side.
+func renderPair(pair [2]compilegate.SweepResult) {
+	for _, sr := range pair {
+		if sr.Err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", sr.Scenario.Name, sr.Err)
+			os.Exit(1)
+		}
+	}
+	th, ba := pair[0].Result, pair[1].Result
+	fmt.Println("  time      throttled  non-throttled")
+	for i := range th.Series {
+		b := int64(0)
+		if i < len(ba.Series) {
+			b = ba.Series[i].V
+		}
+		fmt.Printf("  %6.0fs  %9d  %13d\n", th.Series[i].T.Seconds(), th.Series[i].V, b)
+	}
+	ratio, summary := compilegate.CompareRuns(th, ba)
+	fmt.Printf("  ratio: %.2fx — %s\n\n", ratio, summary)
 }
 
 // figure1 prints the monitor ladder (thresholds ascending, concurrency
@@ -67,8 +138,10 @@ func figure1() {
 	fmt.Println()
 }
 
-// figure2 reproduces the throttling example trace: staggered compilations
-// whose memory curves flatten while blocked at monitors.
+// figure2 reproduces the throttling example trace with the governance
+// primitives directly: staggered compilations whose memory curves
+// flatten while blocked at monitors. (The registry's "figure2" scenario
+// runs the same conditions through the full engine.)
 func figure2() {
 	fmt.Println("== Figure 2: compilation throttling example ==")
 	sched := compilegate.NewScheduler()
@@ -117,31 +190,4 @@ func figure2() {
 			s.v[0]/compilegate.MiB, s.v[1]/compilegate.MiB, s.v[2]/compilegate.MiB)
 	}
 	fmt.Println()
-}
-
-// throughputFigure runs the throttled and baseline configurations at the
-// given client count and prints both series (Figures 3, 4, 5).
-func throughputFigure(n, clients int, horizon, warmup time.Duration) {
-	fmt.Printf("== Figure %d: throughput, %d clients ==\n", n, clients)
-	run := func(throttled bool) *compilegate.BenchmarkResult {
-		o := compilegate.DefaultBenchmarkOptions(clients)
-		o.Horizon, o.Warmup = horizon, warmup
-		o.Throttled = throttled
-		r, err := compilegate.RunBenchmark(o)
-		if err != nil {
-			panic(err)
-		}
-		return r
-	}
-	th, ba := run(true), run(false)
-	fmt.Println("  time      throttled  non-throttled")
-	for i := range th.Series {
-		b := int64(0)
-		if i < len(ba.Series) {
-			b = ba.Series[i].V
-		}
-		fmt.Printf("  %6.0fs  %9d  %13d\n", th.Series[i].T.Seconds(), th.Series[i].V, b)
-	}
-	ratio, summary := harness.Compare(th, ba)
-	fmt.Printf("  ratio: %.2fx — %s\n\n", ratio, summary)
 }

@@ -1,10 +1,13 @@
-// salesbench runs the SALES benchmark (§5) at a chosen client count and
-// prints the throughput series, error taxonomy, and engine report.
+// salesbench runs one registered benchmark scenario (§5) and prints the
+// throughput series, error taxonomy, and engine report. Flags given
+// explicitly override the scenario's declared configuration.
 //
 // Usage:
 //
-//	salesbench [-clients 30] [-throttle=true] [-horizon 8h] [-warmup 3h]
-//	           [-scale 0.04] [-seed 1] [-workload sales]
+//	salesbench [-scenario figure3] [-clients 30] [-throttle=true]
+//	           [-horizon 8h] [-warmup 3h] [-scale 0.04] [-seed 1]
+//	           [-workload sales]
+//	salesbench -list
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 )
 
 func main() {
+	scen := flag.String("scenario", "figure3", "registered scenario to run")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
 	clients := flag.Int("clients", 30, "concurrent database users")
 	throttle := flag.Bool("throttle", true, "enable compilation throttling")
 	horizon := flag.Duration("horizon", 8*time.Hour, "virtual run length")
@@ -26,22 +31,49 @@ func main() {
 	wl := flag.String("workload", "sales", "workload: sales | tpch | oltp | mix")
 	flag.Parse()
 
-	o := compilegate.DefaultBenchmarkOptions(*clients)
-	o.Throttled = *throttle
-	o.Horizon = *horizon
-	o.Warmup = *warmup
-	o.Scale = *scale
-	o.Seed = *seed
-	o.Workload = *wl
+	if *list {
+		fmt.Print(compilegate.ListScenarios())
+		return
+	}
 
-	res, err := compilegate.RunBenchmark(o)
+	s, ok := compilegate.ScenarioByName(*scen)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "salesbench: unknown scenario %q; -list shows the registry\n", *scen)
+		os.Exit(2)
+	}
+	// Only flags the user actually set override the scenario.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "clients":
+			s.Clients = *clients
+		case "throttle":
+			s.Throttled = *throttle
+		case "horizon":
+			s.Horizon = *horizon
+		case "warmup":
+			s.Warmup = *warmup
+		case "scale":
+			s.Scale = *scale
+		case "seed":
+			s.Seed = *seed
+		case "workload":
+			sp, err := compilegate.ParseWorkload(*wl)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "salesbench:", err)
+				os.Exit(2)
+			}
+			s.Workload = sp
+		}
+	})
+
+	res, err := compilegate.RunScenario(s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "salesbench:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("workload=%s clients=%d throttle=%v window=[%v,%v)\n",
-		*wl, *clients, *throttle, o.Warmup, o.Horizon)
+	fmt.Printf("scenario=%s workload=%s clients=%d throttle=%v window=[%v,%v)\n",
+		s.Name, s.Workload, s.Clients, s.Throttled, s.Warmup, s.Horizon)
 	fmt.Println("completions per slice:")
 	for _, p := range res.Series {
 		fmt.Printf("  t=%6.0fs  %d\n", p.T.Seconds(), p.V)

@@ -12,7 +12,9 @@
 //     optimizer, buffer pool, plan cache, execution engine with memory
 //     grants — running on a deterministic virtual clock.
 //   - The benchmark harness (RunBenchmark) that reproduces the paper's
-//     SALES experiments (Figures 2-5).
+//     SALES experiments (Figures 2-5), driven by a declarative scenario
+//     registry (Scenarios, RunScenario) and a parallel sweep runner
+//     (RunSweep) that executes independent experiments on real cores.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
@@ -28,7 +30,9 @@ import (
 	"compilegate/internal/gateway"
 	"compilegate/internal/harness"
 	"compilegate/internal/mem"
+	"compilegate/internal/scenario"
 	"compilegate/internal/vtime"
+	"compilegate/internal/workload"
 )
 
 // Re-exported governance types: these are the paper's contribution and
@@ -86,6 +90,19 @@ type (
 	BenchmarkOptions = harness.Options
 	// BenchmarkResult carries one run's measurements.
 	BenchmarkResult = harness.Result
+
+	// Scenario declaratively describes one experiment: workload spec,
+	// catalog scale, client population, measurement window, and
+	// server-config deltas.
+	Scenario = scenario.Scenario
+	// Registry is a named scenario collection; the package keeps a
+	// default instance holding every paper experiment.
+	Registry = scenario.Registry
+	// SweepResult is one scenario's outcome within a RunSweep.
+	SweepResult = scenario.SweepResult
+
+	// WorkloadSpec names a workload ("sales", "tpch", "oltp", "mix").
+	WorkloadSpec = workload.Spec
 )
 
 // Byte-size helpers re-exported for configuration literals.
@@ -97,6 +114,15 @@ const (
 
 // ErrOutOfMemory is the simulated machine's allocation failure.
 var ErrOutOfMemory = mem.ErrOutOfMemory
+
+// Error kinds recorded per failed query — the keys of
+// BenchmarkResult.ErrorsByKind.
+const (
+	ErrKindOOM            = engine.ErrKindOOM
+	ErrKindGatewayTimeout = engine.ErrKindGatewayTimeout
+	ErrKindGrantTimeout   = engine.ErrKindGrantTimeout
+	ErrKindOther          = engine.ErrKindOther
+)
 
 // NewScheduler creates a virtual-time scheduler.
 func NewScheduler() *Scheduler { return vtime.NewScheduler() }
@@ -149,14 +175,51 @@ func RunBenchmark(o BenchmarkOptions) (*BenchmarkResult, error) { return harness
 
 // DefaultBenchmarkOptions returns the SALES configuration at the given
 // client count (the paper uses 30, 35 and 40) with throttling enabled.
+// It resolves through the scenario layer; prefer SalesScenario for new
+// code.
 func DefaultBenchmarkOptions(clients int) BenchmarkOptions {
-	return harness.DefaultOptions(clients)
+	return scenario.Sales(clients).Options()
 }
+
+// SalesScenario returns the canonical §5 SALES experiment at the given
+// client count; derive variants with its With* methods.
+func SalesScenario(clients int) Scenario { return scenario.Sales(clients) }
 
 // CompareRuns renders the throttled-vs-baseline comparison of Figures 3-5
 // and returns the throughput improvement ratio.
 func CompareRuns(throttled, baseline *BenchmarkResult) (float64, string) {
 	return harness.Compare(throttled, baseline)
+}
+
+// NewRegistry creates an empty scenario registry (the paper experiments
+// live in the default registry; see Scenarios).
+func NewRegistry() *Registry { return scenario.NewRegistry() }
+
+// Scenarios returns every registered paper experiment in presentation
+// order.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioByName resolves a registered experiment ("figure3",
+// "oltp-mix", ...).
+func ScenarioByName(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// ScenarioNames lists the registered experiment names.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ListScenarios renders the registry as a table for -list flags.
+func ListScenarios() string { return scenario.List() }
+
+// ParseWorkload validates a workload name from a flag or config file.
+func ParseWorkload(s string) (WorkloadSpec, error) { return workload.ParseSpec(s) }
+
+// RunScenario executes one scenario to completion in virtual time.
+func RunScenario(s Scenario) (*BenchmarkResult, error) { return s.Run() }
+
+// RunSweep executes independent scenarios concurrently on a bounded
+// worker pool (workers <= 0 uses GOMAXPROCS). Every run owns a private
+// scheduler, so results are identical to running each scenario serially.
+func RunSweep(scenarios []Scenario, workers int) []SweepResult {
+	return scenario.RunSweep(scenarios, workers)
 }
 
 // Sanity re-exports so the constants are reachable without the internal

@@ -79,6 +79,55 @@ func TestPublicAPIServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicAPIScenarioRegistry exercises the scenario surface: the
+// registry lists the paper experiments, names resolve, and a parallel
+// sweep of registered scenarios runs through the facade.
+func TestPublicAPIScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 10 {
+		t.Fatalf("registry lists %d scenarios", len(names))
+	}
+	for _, want := range []string{"figure2", "figure3", "figure4", "figure5",
+		"monitors-1", "broker-only", "oltp-mix", "best-effort", "adhoc-dss", "quickstart"} {
+		if _, ok := ScenarioByName(want); !ok {
+			t.Errorf("scenario %s not registered", want)
+		}
+	}
+	if len(Scenarios()) != len(names) {
+		t.Fatal("Scenarios and ScenarioNames disagree")
+	}
+	if ListScenarios() == "" {
+		t.Fatal("empty scenario listing")
+	}
+	if s := SalesScenario(30); s.Clients != 30 || !s.Throttled {
+		t.Fatalf("SalesScenario = %+v", s)
+	}
+	if o := DefaultBenchmarkOptions(30); o.Clients != 30 || !o.Throttled {
+		t.Fatalf("DefaultBenchmarkOptions = %+v", o)
+	}
+
+	if testing.Short() {
+		t.Skip("sweep execution in -short")
+	}
+	s, _ := ScenarioByName("quickstart")
+	res := RunSweep([]Scenario{s, s.WithSeed(2)}, 0)
+	for _, sr := range res {
+		if sr.Err != nil {
+			t.Fatal(sr.Err)
+		}
+		if sr.Result.Completed == 0 {
+			t.Fatalf("%s completed nothing", sr.Scenario.Name)
+		}
+	}
+	serial, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Report != res[0].Result.Report {
+		t.Fatal("sweep result diverges from serial RunScenario")
+	}
+}
+
 // TestPublicAPIBenchmarkRun exercises RunBenchmark + CompareRuns on a tiny
 // configuration.
 func TestPublicAPIBenchmarkRun(t *testing.T) {

@@ -1,35 +1,33 @@
 // adhoc_dss runs a short SALES-style ad-hoc decision-support scenario —
 // the workload from the paper's §5 — against the full simulated engine
 // and prints the throughput series and component report, comparing
-// throttled and unthrottled runs.
+// throttled and unthrottled runs. The experiment resolves from the
+// scenario registry and both runs execute concurrently on real cores.
 //
 // Run with: go run ./examples/adhoc_dss
 package main
 
 import (
 	"fmt"
-	"time"
 
 	"compilegate"
 )
 
 func main() {
-	run := func(throttled bool) *compilegate.BenchmarkResult {
-		o := compilegate.DefaultBenchmarkOptions(30)
-		o.Horizon = 90 * time.Minute // shortened demo window
-		o.Warmup = 15 * time.Minute
-		o.Throttled = throttled
-		res, err := compilegate.RunBenchmark(o)
-		if err != nil {
-			panic(err)
-		}
-		return res
+	s, ok := compilegate.ScenarioByName("adhoc-dss")
+	if !ok {
+		panic("adhoc-dss scenario not registered")
 	}
 
-	fmt.Println("running throttled configuration (30 clients, SALES)...")
-	th := run(true)
-	fmt.Println("running unthrottled baseline...")
-	ba := run(false)
+	fmt.Printf("running %s and its unthrottled baseline concurrently (%d clients, SALES)...\n",
+		s.Name, s.Clients)
+	pair := compilegate.RunSweep([]compilegate.Scenario{s, s.Baseline()}, 2)
+	for _, sr := range pair {
+		if sr.Err != nil {
+			panic(sr.Err)
+		}
+	}
+	th, ba := pair[0].Result, pair[1].Result
 
 	fmt.Println("\ncompletions per 10-minute slice:")
 	fmt.Println("  time      throttled  baseline")

@@ -1,13 +1,16 @@
 // besteffort demonstrates §4.1's second extension: when the broker
 // predicts memory exhaustion before a compilation can finish, the
 // optimizer returns the best complete plan found so far instead of
-// failing with out-of-memory.
+// failing with out-of-memory. It first shows a single compilation being
+// cut short, then sweeps the registry's best-effort ablation pair — the
+// same starved server with the extension on and off — concurrently.
 //
 // Run with: go run ./examples/besteffort
 package main
 
 import (
 	"fmt"
+	"time"
 
 	"compilegate"
 
@@ -80,5 +83,25 @@ func main() {
 	})
 	if err := sched.Run(); err != nil {
 		panic(err)
+	}
+
+	// The system-level view: the registry's ablation pair on a starved
+	// 2 GiB machine, swept concurrently with a compressed window.
+	var pair []compilegate.Scenario
+	for _, name := range []string{"best-effort", "best-effort-off"} {
+		s, ok := compilegate.ScenarioByName(name)
+		if !ok {
+			panic(name + " scenario not registered")
+		}
+		pair = append(pair, s.WithWindow(45*time.Minute, 10*time.Minute))
+	}
+	fmt.Println("\nsweeping the best-effort ablation pair (45 min window, 2 GiB machine)...")
+	for _, sr := range compilegate.RunSweep(pair, 2) {
+		if sr.Err != nil {
+			panic(sr.Err)
+		}
+		fmt.Printf("%-16s completed=%4d oom=%d best-effort-plans=%d\n",
+			sr.Scenario.Name, sr.Result.Completed,
+			sr.Result.ErrorsByKind[compilegate.ErrKindOOM], sr.Result.BestEffortPlans)
 	}
 }

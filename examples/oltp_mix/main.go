@@ -2,30 +2,30 @@
 // workload where point queries compile below the first monitor threshold
 // and are never blocked, even while large ad-hoc compilations queue at
 // the gates — the paper's "administrator can run diagnostic queries even
-// if the system is overloaded" property.
+// if the system is overloaded" property. The experiment resolves from
+// the scenario registry.
 //
 // Run with: go run ./examples/oltp_mix
 package main
 
 import (
 	"fmt"
-	"time"
 
 	"compilegate"
 )
 
 func main() {
-	o := compilegate.DefaultBenchmarkOptions(24)
-	o.Workload = "mix" // 3:1 OLTP : SALES
-	o.Horizon = 60 * time.Minute
-	o.Warmup = 10 * time.Minute
-	res, err := compilegate.RunBenchmark(o)
+	s, ok := compilegate.ScenarioByName("oltp-mix")
+	if !ok {
+		panic("oltp-mix scenario not registered")
+	}
+	res, err := compilegate.RunScenario(s)
 	if err != nil {
 		panic(err)
 	}
 
-	fmt.Printf("mixed workload, 24 clients, 60 min: %d completions, errors %v\n",
-		res.Completed, res.ErrorsByKind)
+	fmt.Printf("%s: %d clients, %v window: %d completions, errors %v\n",
+		s.Name, s.Clients, s.Horizon, res.Completed, res.ErrorsByKind)
 	fmt.Printf("plan-cache served the repeated OLTP statements; compile-mem mean %d MiB\n",
 		res.CompileMemMean/compilegate.MiB)
 	fmt.Printf("gateway timeouts: %d (small queries bypass the ladder entirely)\n",

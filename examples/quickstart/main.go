@@ -1,5 +1,6 @@
 // Quickstart: govern three concurrent "compilations" with the paper's
-// memory monitors and watch the broker and gateways at work.
+// memory monitors and watch the broker and gateways at work, then run
+// the registry's smoke scenario through the full simulated engine.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -58,4 +59,17 @@ func main() {
 	fmt.Println()
 	fmt.Print(gov.Report())
 	fmt.Print(brk.Report())
+
+	// The same governance running inside the complete simulated DBMS:
+	// resolve the smoke scenario from the registry and run it end to end.
+	s, ok := compilegate.ScenarioByName("quickstart")
+	if !ok {
+		panic("quickstart scenario not registered")
+	}
+	res, err := compilegate.RunScenario(s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nscenario %s: %d clients completed %d queries (%.1f/hour), errors %v\n",
+		s.Name, s.Clients, res.Completed, res.Throughput(), res.ErrorsByKind)
 }

@@ -1,0 +1,3 @@
+module compilegate
+
+go 1.24

@@ -16,6 +16,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 
@@ -389,9 +390,12 @@ func (s *Server) Submit(t *vtime.Task, sql string) error {
 		s.cache.Put(fp, p, t.Now())
 	}
 
-	// Execution: seed scan locality from the fingerprint so repeated
-	// templates overlap on hot regions but differ in detail.
-	rng := rand.New(rand.NewSource(int64(len(sql))*2654435761 + int64(fp[0])))
+	// Execution: seed scan locality from the full fingerprint so repeated
+	// statements overlap on hot regions while distinct queries get
+	// independent locality (length + first byte collide far too often).
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
 	execStart := t.Now()
 	if _, err := s.exec.Execute(t, p, rng); err != nil {
 		s.rec.RecordError(t.Now(), classify(err))

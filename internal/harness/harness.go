@@ -10,7 +10,6 @@ import (
 	"strings"
 	"time"
 
-	"compilegate/internal/catalog"
 	"compilegate/internal/engine"
 	"compilegate/internal/metrics"
 	"compilegate/internal/vtime"
@@ -31,8 +30,9 @@ type Options struct {
 	// Scale scales the catalog (DESIGN.md: 0.04 keeps page counts
 	// tractable while preserving the DB ≫ RAM ratio).
 	Scale float64
-	// Workload is "sales" (default), "tpch", "oltp", or "mix".
-	Workload string
+	// Workload resolves the query generator and catalog; the zero value
+	// is workload.SpecSales.
+	Workload workload.Spec
 	// Seed drives all randomness.
 	Seed int64
 	// Engine overrides the default engine config when non-nil (ablations
@@ -51,7 +51,7 @@ func DefaultOptions(clients int) Options {
 		Warmup:    3 * time.Hour,
 		Throttled: true,
 		Scale:     0.04,
-		Workload:  "sales",
+		Workload:  workload.SpecSales,
 		Seed:      1,
 	}
 }
@@ -110,38 +110,13 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Completed) / window
 }
 
-// buildCatalog picks the catalog for the workload.
-func buildCatalog(o Options) *catalog.Catalog {
-	extent := int64(8 << 20)
-	switch o.Workload {
-	case "tpch":
-		return catalog.NewTPCHLike(o.Scale*0.01, extent)
-	default:
-		return catalog.NewSales(catalog.SalesConfig{Scale: o.Scale, ExtentBytes: extent})
-	}
-}
-
-// buildGenerator picks the workload generator.
-func buildGenerator(o Options) workload.Generator {
-	switch o.Workload {
-	case "tpch":
-		return workload.NewTPCH()
-	case "oltp":
-		return workload.NewOLTP()
-	case "mix":
-		return workload.NewMix(
-			[]workload.Generator{workload.NewSales(), workload.NewOLTP()},
-			[]int{1, 3},
-		)
-	default:
-		return workload.NewSales()
-	}
-}
-
 // Run executes one configuration to completion in virtual time.
 func Run(o Options) (*Result, error) {
 	if o.Clients <= 0 {
 		return nil, fmt.Errorf("harness: no clients")
+	}
+	if !o.Workload.Valid() {
+		return nil, fmt.Errorf("harness: unknown workload %q", string(o.Workload))
 	}
 	if o.Scale <= 0 {
 		o.Scale = 0.04
@@ -166,7 +141,7 @@ func Run(o Options) (*Result, error) {
 	}
 
 	sched := vtime.NewScheduler()
-	cat := buildCatalog(o)
+	cat := o.Workload.NewCatalog(o.Scale, workload.DefaultExtentBytes)
 	srv, err := engine.New(ecfg, cat, sched)
 	if err != nil {
 		return nil, err
@@ -182,7 +157,7 @@ func Run(o Options) (*Result, error) {
 	lcfg.Horizon = o.Horizon
 	lcfg.Seed = o.Seed
 
-	gen := buildGenerator(o)
+	gen := o.Workload.Generator()
 	loadStats := workload.Run(sched, srv, gen, lcfg, srv.Close)
 
 	if err := sched.Run(); err != nil {

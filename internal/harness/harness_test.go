@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"compilegate/internal/metrics"
+	"compilegate/internal/workload"
 )
 
 func quickOpts(clients int) Options {
@@ -101,7 +102,7 @@ func TestSeedChangesRun(t *testing.T) {
 }
 
 func TestWorkloadSelection(t *testing.T) {
-	for _, wl := range []string{"tpch", "oltp", "mix"} {
+	for _, wl := range []workload.Spec{workload.SpecTPCH, workload.SpecOLTP, workload.SpecMix} {
 		o := quickOpts(4)
 		o.Workload = wl
 		o.Horizon = 20 * time.Minute

@@ -78,11 +78,17 @@ func (c *Cache) Get(key string) (*plan.Plan, bool) {
 // Put caches a plan under the fingerprint at virtual time now. If memory
 // cannot be found even after evicting colder plans the plan is simply not
 // cached (compilation already succeeded; caching is best-effort).
-// Re-putting an existing key refreshes the entry.
+// Re-putting an existing key replaces the stored plan and adjusts the
+// tracker charge to the new plan's size.
 func (c *Cache) Put(key string, p *plan.Plan, now time.Duration) {
 	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		return
+		// Drop the stale entry and release its charge; the fresh plan
+		// goes through the normal insert path below (which may evict
+		// colder plans to make room if it grew).
+		e := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.tracker.Release(e.bytes)
 	}
 	bytes := p.PlanBytes()
 	// Respect the broker target by making room first.

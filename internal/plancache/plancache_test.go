@@ -57,6 +57,36 @@ func TestPutDuplicateRefreshes(t *testing.T) {
 	}
 }
 
+// TestPutReplacesStalePlan pins the re-put contract: the cache must
+// serve the newest plan and charge its size, not keep the stale entry
+// with a refreshed recency.
+func TestPutReplacesStalePlan(t *testing.T) {
+	b := mem.NewBudget(mem.GiB)
+	c := New(b.NewTracker("plancache"))
+	old, fresh := tinyPlan(1), tinyPlan(5)
+	if old.PlanBytes() == fresh.PlanBytes() {
+		t.Fatal("test plans must differ in size")
+	}
+	c.Put("q1", old, 0)
+	c.Put("q1", fresh, time.Second)
+	got, ok := c.Get("q1")
+	if !ok || got != fresh {
+		t.Fatal("re-put kept the stale plan")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Bytes() != fresh.PlanBytes() {
+		t.Fatalf("bytes = %d, want the fresh plan's %d", c.Bytes(), fresh.PlanBytes())
+	}
+
+	// Shrinking on re-put releases the difference too.
+	c.Put("q1", old, 2*time.Second)
+	if c.Bytes() != old.PlanBytes() {
+		t.Fatalf("bytes = %d after shrink, want %d", c.Bytes(), old.PlanBytes())
+	}
+}
+
 func TestLRUEvictionUnderBudget(t *testing.T) {
 	p := tinyPlan(1)
 	// Budget fits exactly 3 plans.

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of scenarios. It preserves registration
+// order (listings read like the paper's evaluation section) and is safe
+// for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Scenario
+	order  []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Scenario)}
+}
+
+// Register adds a scenario, rejecting invalid descriptions and duplicate
+// names.
+func (r *Registry) Register(s Scenario) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[s.Name]; dup {
+		return fmt.Errorf("scenario: duplicate name %q", s.Name)
+	}
+	r.byName[s.Name] = s
+	r.order = append(r.order, s.Name)
+	return nil
+}
+
+// MustRegister is Register for init-time wiring.
+func (r *Registry) MustRegister(s Scenario) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the scenario registered under name.
+func (r *Registry) Get(name string) (Scenario, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byName[name]
+	return s, ok
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Scenarios returns the registered scenarios in registration order.
+func (r *Registry) Scenarios() []Scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Scenario, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byName[name])
+	}
+	return out
+}
+
+// List renders a table of the registered scenarios for -list flags.
+func (r *Registry) List() string {
+	var sb strings.Builder
+	for _, s := range r.Scenarios() {
+		throttle := "throttled"
+		if !s.Throttled {
+			throttle = "baseline"
+		}
+		fmt.Fprintf(&sb, "  %-16s %2d clients, %-5s %-9s window [%v, %v)\n      %s\n",
+			s.Name, s.Clients, s.Workload.String()+",", throttle, s.Warmup, s.Horizon,
+			s.Description)
+	}
+	return sb.String()
+}
+
+// Default is the registry holding every paper experiment; paper.go
+// populates it at init.
+var Default = NewRegistry()
+
+// Get resolves name against the default registry.
+func Get(name string) (Scenario, bool) { return Default.Get(name) }
+
+// Names lists the default registry's names.
+func Names() []string { return Default.Names() }
+
+// All returns the default registry's scenarios.
+func All() []Scenario { return Default.Scenarios() }
+
+// List renders the default registry.
+func List() string { return Default.List() }

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"compilegate/internal/engine"
+	"compilegate/internal/harness"
+	"compilegate/internal/vtime"
+)
+
+// TestRegisteredScenariosBuildValidConfigs proves every registered
+// experiment resolves to a runnable configuration: the scenario
+// validates, its options carry the declared fields, and the resulting
+// engine config assembles a real server over the resolved catalog.
+func TestRegisteredScenariosBuildValidConfigs(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("registry holds %d scenarios, expected the full paper set", len(all))
+	}
+	for _, s := range all {
+		t.Run(s.Name, func(t *testing.T) {
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			o := s.Options()
+			if o.Clients != s.Clients || o.Scale != s.Scale || o.Workload != s.Workload ||
+				o.Horizon != s.Horizon || o.Warmup != s.Warmup ||
+				o.Throttled != s.Throttled || o.Seed != s.Seed {
+				t.Fatalf("options %+v do not mirror scenario %+v", o, s)
+			}
+			if (o.Engine != nil) != (s.Engine != nil) {
+				t.Fatal("engine delta not applied")
+			}
+			ecfg := engine.DefaultConfig()
+			if o.Engine != nil {
+				ecfg = *o.Engine
+			}
+			ecfg.Throttle = o.Throttled
+			cat := o.Workload.NewCatalog(o.Scale, ecfg.BufferPool.ExtentBytes)
+			if _, err := engine.New(ecfg, cat, vtime.NewScheduler()); err != nil {
+				t.Fatalf("engine rejects the scenario's config: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsBrokenScenarios(t *testing.T) {
+	good := Sales(4)
+	good.Name = "ok"
+	cases := map[string]func(*Scenario){
+		"no-name":         func(s *Scenario) { s.Name = "" },
+		"no-clients":      func(s *Scenario) { s.Clients = 0 },
+		"no-scale":        func(s *Scenario) { s.Scale = 0 },
+		"bad-workload":    func(s *Scenario) { s.Workload = "tpcds" },
+		"warmup>=horizon": func(s *Scenario) { s.Warmup = s.Horizon },
+	}
+	for name, breakIt := range cases {
+		s := good
+		breakIt(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: broken scenario validated", name)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndKeepsOrder(t *testing.T) {
+	r := NewRegistry()
+	a, b := Sales(4), Sales(5)
+	a.Name, b.Name = "a", "b"
+	if err := r.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(a); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if names := r.Names(); !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Fatalf("names = %v", names)
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("registered scenario not found")
+	}
+	if _, ok := r.Get("zzz"); ok {
+		t.Fatal("unknown scenario found")
+	}
+	if list := r.List(); !strings.Contains(list, "a") || !strings.Contains(list, "b") {
+		t.Fatalf("list = %q", list)
+	}
+}
+
+func TestDerivations(t *testing.T) {
+	s := Sales(30)
+	ba := s.Baseline()
+	if ba.Throttled || !s.Throttled {
+		t.Fatal("Baseline must flip throttling on the copy only")
+	}
+	if ba.Name != s.Name+"-baseline" {
+		t.Fatalf("baseline name = %q", ba.Name)
+	}
+	w := s.WithWindow(time.Hour, time.Minute)
+	if w.Horizon != time.Hour || w.Warmup != time.Minute || s.Horizon != 8*time.Hour {
+		t.Fatal("WithWindow must replace the window on the copy only")
+	}
+	if s.WithSeed(9).Seed != 9 || s.WithClients(7).Clients != 7 {
+		t.Fatal("WithSeed/WithClients broken")
+	}
+}
+
+// sweepSet is a cheap, heterogeneous set of registered scenarios used by
+// the determinism tests: two as registered, two with a compressed
+// window so the suite stays fast.
+func sweepSet(t *testing.T) []Scenario {
+	t.Helper()
+	var out []Scenario
+	for _, name := range []string{"quickstart", "figure2", "oltp-mix", "adhoc-dss"} {
+		s, ok := Get(name)
+		if !ok {
+			t.Fatalf("scenario %s not registered", name)
+		}
+		if s.Horizon > 30*time.Minute {
+			s = s.WithWindow(20*time.Minute, 5*time.Minute)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestSweepMatchesSerial is the determinism guarantee: a parallel sweep
+// over independent scenarios returns results identical to running each
+// scenario serially — same measurements, same rendered reports.
+func TestSweepMatchesSerial(t *testing.T) {
+	scenarios := sweepSet(t)
+	serial := make([]*harness.Result, len(scenarios))
+	for i, s := range scenarios {
+		r, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		serial[i] = r
+	}
+
+	parallel := RunSweep(scenarios, len(scenarios))
+	if len(parallel) != len(scenarios) {
+		t.Fatalf("sweep returned %d results", len(parallel))
+	}
+	for i, sr := range parallel {
+		if sr.Err != nil {
+			t.Fatalf("%s: %v", sr.Scenario.Name, sr.Err)
+		}
+		if sr.Scenario.Name != scenarios[i].Name {
+			t.Fatalf("result %d out of order: %s", i, sr.Scenario.Name)
+		}
+		if sr.Result.Completed == 0 {
+			t.Fatalf("%s completed nothing", sr.Scenario.Name)
+		}
+		if sr.Result.Report != serial[i].Report {
+			t.Errorf("%s: parallel report diverges from serial:\n%s\nvs\n%s",
+				sr.Scenario.Name, sr.Result.Report, serial[i].Report)
+		}
+		if !reflect.DeepEqual(sr.Result, serial[i]) {
+			t.Errorf("%s: parallel result differs from serial run", sr.Scenario.Name)
+		}
+	}
+}
+
+func TestSweepWorkerBounds(t *testing.T) {
+	s, _ := Get("quickstart")
+	// workers > len, workers = 1, workers <= 0 all behave.
+	for _, workers := range []int{8, 1, 0} {
+		res := RunSweep([]Scenario{s, s.WithSeed(2)}, workers)
+		for _, sr := range res {
+			if sr.Err != nil {
+				t.Fatal(sr.Err)
+			}
+		}
+		if res[0].Result.Options.Seed == res[1].Result.Options.Seed {
+			t.Fatal("results out of order")
+		}
+	}
+	if got := RunSweep(nil, 4); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(got))
+	}
+}
+
+func TestSweepSurfacesErrors(t *testing.T) {
+	bad := Sales(0) // invalid: no clients
+	bad.Name = "bad"
+	res := RunSweep([]Scenario{bad}, 1)
+	if res[0].Err == nil {
+		t.Fatal("invalid scenario ran")
+	}
+}
