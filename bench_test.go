@@ -278,7 +278,12 @@ func BenchmarkAblationDynamicThresholds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dynamic := benchScenario(35)
 		static := benchScenario(35)
-		static.Engine = func(c *engine.Config) { c.DynamicThresholds = false }
+		// Compose with the scenario's calibrated operating point: only the
+		// thresholds policy may differ between the two arms.
+		static.Engine = func(c *engine.Config) {
+			scenario.CalibratedKnobs().Apply(c)
+			c.DynamicThresholds = false
+		}
 		res := mustSweep(b, dynamic, static)
 		b.ReportMetric(float64(res[0].Completed), "completions-dynamic")
 		b.ReportMetric(float64(res[0].Errors), "errors-dynamic")

@@ -1,0 +1,74 @@
+// calibrate runs the memory-pressure calibration sweep: a grid of
+// pressure-model knob sets crossed with client counts, every cell a
+// throttled/baseline pair, all simulations executing concurrently
+// through the sweep runner. It scores each knob set against the paper's
+// Figures 3-5 throughput separations and reports the best one — the
+// knob set scenario.CalibratedKnobs ships (carried by every
+// SALES-derived scenario) was selected this way, layered over the
+// engine defaults at resolve time (see EXPERIMENTS.md, "Calibration
+// methodology").
+//
+// Usage:
+//
+//	calibrate [-quick] [-workers N] [-seed S] [-csv out.csv] [-md out.md]
+//
+// -quick compresses the measurement window (90 min instead of 3 h) so
+// the whole grid finishes in well under a minute; use the full window
+// before trusting a new calibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"compilegate"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "compressed measurement window")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
+	seed := flag.Int64("seed", 1, "random seed for every run")
+	csvPath := flag.String("csv", "", "write the full grid as CSV to this path")
+	mdPath := flag.String("md", "", "write per-knob-set markdown tables to this path")
+	flag.Parse()
+
+	cal := compilegate.DefaultCalibration()
+	cal.Workers = *workers
+	cal.Seed = *seed
+	if *quick {
+		cal.Horizon, cal.Warmup = 90*time.Minute, 15*time.Minute
+	}
+
+	cells := len(cal.Knobs) * len(cal.Clients)
+	fmt.Printf("calibrating: %d knob sets x %d client counts = %d cells (%d simulations), window [%v, %v)\n",
+		len(cal.Knobs), len(cal.Clients), cells, 2*cells, cal.Warmup, cal.Horizon)
+
+	rep := cal.Run()
+
+	fmt.Print(rep.Markdown())
+	fmt.Println("ranking (best first):")
+	for i, name := range rep.Ranking() {
+		fmt.Printf("  %d. %-12s score %.3f\n", i+1, name, rep.Score(name))
+	}
+	best, score := rep.Best()
+	fmt.Printf("\nselected: %s (score %.3f)\n", best.Name, score)
+	fmt.Printf("  cache-reserve=%.2f slope=%.1f wait=%v grant-frac=%.2f\n",
+		best.CacheReserveFrac, best.SlowdownSlope, best.CompileTaskWait, best.ExecGrantLimitFrac)
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(rep.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(rep.Markdown()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mdPath)
+	}
+}

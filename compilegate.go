@@ -103,6 +103,23 @@ type (
 
 	// WorkloadSpec names a workload ("sales", "tpch", "oltp", "mix").
 	WorkloadSpec = workload.Spec
+
+	// PressureModel is the memory-pressure (thrash) model: commit limit,
+	// paging threshold, and the slowdown a thrashing machine pays.
+	PressureModel = mem.PressureModel
+
+	// Calibration describes a pressure-knob sweep grid; its Run method
+	// executes every throttled/baseline cell concurrently.
+	Calibration = scenario.Calibration
+	// CalibrationReport holds a finished sweep with fidelity scoring
+	// against the paper's Figures 3-5.
+	CalibrationReport = scenario.CalibrationReport
+	// PressureKnobs is one knob set of a calibration grid.
+	PressureKnobs = scenario.PressureKnobs
+	// CalibrationPoint is one grid cell (a throttled/baseline pair).
+	CalibrationPoint = scenario.CalibrationPoint
+	// FidelityTarget is a paper separation to calibrate toward.
+	FidelityTarget = scenario.FidelityTarget
 )
 
 // Byte-size helpers re-exported for configuration literals.
@@ -191,12 +208,23 @@ func CompareRuns(throttled, baseline *BenchmarkResult) (float64, string) {
 	return harness.Compare(throttled, baseline)
 }
 
+// DefaultPressureModel returns the calibrated thrash model (selected by
+// cmd/calibrate; see EXPERIMENTS.md).
+func DefaultPressureModel() PressureModel { return mem.DefaultPressureModel() }
+
+// DefaultCalibration returns the pressure sweep grid cmd/calibrate runs:
+// the shipped calibration plus its neighborhood.
+func DefaultCalibration() Calibration { return scenario.DefaultCalibration() }
+
+// PaperTargets returns the Figures 3-5 throughput separations the
+// calibration scores against.
+func PaperTargets() []FidelityTarget { return scenario.PaperTargets() }
+
 // NewRegistry creates an empty scenario registry (the paper experiments
 // live in the default registry; see Scenarios).
 func NewRegistry() *Registry { return scenario.NewRegistry() }
 
-// Scenarios returns every registered paper experiment in presentation
-// order.
+// Scenarios returns every registered paper experiment, sorted by name.
 func Scenarios() []Scenario { return scenario.All() }
 
 // ScenarioByName resolves a registered experiment ("figure3",

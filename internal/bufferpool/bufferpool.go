@@ -64,6 +64,11 @@ type Pool struct {
 
 	target int64 // broker target; 0 = unlimited (budget still binds)
 
+	// dilation stretches every disk transfer (paging competes for the
+	// same spindles); stolen counts page-steal evictions by the pager.
+	dilation    func() float64
+	stolenBytes int64
+
 	hits, misses, evictions uint64
 	passthrough             uint64 // reads served without caching
 }
@@ -105,6 +110,36 @@ func (p *Pool) HitRate() float64 {
 	}
 	return float64(p.hits) / float64(t)
 }
+
+// SetDilation installs a disk time-dilation hook: every physical extent
+// transfer takes DiskLatency*fn(). The engine wires this to the paging
+// slowdown — on a thrashing machine swap traffic contends with the
+// database's own I/O on the same channels. nil restores undilated reads.
+func (p *Pool) SetDilation(fn func() float64) { p.dilation = fn }
+
+// diskLatency returns the current per-extent transfer time, dilated.
+func (p *Pool) diskLatency() time.Duration {
+	d := p.cfg.DiskLatency
+	if p.dilation != nil {
+		if f := p.dilation(); f > 1 {
+			d = time.Duration(float64(d) * f)
+		}
+	}
+	return d
+}
+
+// StealPages evicts up to want bytes of frames on behalf of the pager —
+// the page-steal path a thrashing OS applies to file-cache pages. It is
+// Shrink with separate accounting so reports can distinguish broker
+// shrinks from pager steals.
+func (p *Pool) StealPages(want int64) int64 {
+	stolen := p.Shrink(want)
+	p.stolenBytes += stolen
+	return stolen
+}
+
+// StolenBytes returns the total bytes taken by StealPages.
+func (p *Pool) StolenBytes() int64 { return p.stolenBytes }
 
 // SetTarget installs the broker's target; the pool evicts down to it and
 // will not grow beyond it. Zero clears the target.
@@ -151,7 +186,7 @@ func (p *Pool) Read(t *vtime.Task, key storage.ExtentKey) bool {
 	p.misses++
 	// Physical read: contend for a disk channel.
 	p.disk.Acquire(t)
-	t.Sleep(p.cfg.DiskLatency)
+	t.Sleep(p.diskLatency())
 	p.disk.Release()
 
 	p.admit(t, key)
@@ -179,7 +214,7 @@ func (p *Pool) ReadMany(t *vtime.Task, keys []storage.ExtentKey) int {
 	}
 	for _, k := range missKeys {
 		p.disk.Acquire(t)
-		t.Sleep(p.cfg.DiskLatency)
+		t.Sleep(p.diskLatency())
 		p.disk.Release()
 		p.admit(t, k)
 	}
@@ -270,8 +305,14 @@ func (p *Pool) DiskDelay(t *vtime.Task, d time.Duration) {
 		if chunk <= 0 || chunk > d {
 			chunk = d
 		}
+		occupy := chunk
+		if p.dilation != nil {
+			if f := p.dilation(); f > 1 {
+				occupy = time.Duration(float64(chunk) * f)
+			}
+		}
 		p.disk.Acquire(t)
-		t.Sleep(chunk)
+		t.Sleep(occupy)
 		p.disk.Release()
 		d -= chunk
 	}

@@ -80,6 +80,13 @@ type Config struct {
 	// 32-bit server: its AWE-mapped buffer pool lived outside the ~2 GB
 	// user address space, everything else inside). 0 disables the bound.
 	VASBytes int64
+	// Pressure is the memory-pressure (thrash) model: with it enabled,
+	// compilations and execution grants may overcommit physical memory
+	// into swap, and once wired memory crowds out the page cache every
+	// CPU quantum and disk transfer stretches by the paging slowdown
+	// while the pager steals buffer-pool frames. The zero value disables
+	// overcommit entirely (reservations past physical memory fail).
+	Pressure mem.PressureModel
 	// CPUQuantum is the processor-sharing quantum.
 	CPUQuantum time.Duration
 
@@ -111,6 +118,7 @@ func DefaultConfig() Config {
 		CompileTaskWait:    45 * time.Millisecond,
 		ExecGrantLimitFrac: 0.45,
 		VASBytes:           0,
+		Pressure:           mem.DefaultPressureModel(),
 		CPUQuantum:         100 * time.Millisecond,
 		SliceDur:           10 * time.Minute,
 		WeightBufferPool:   1.0,
@@ -145,6 +153,9 @@ type Server struct {
 	// Component memory traces sampled every broker interval.
 	poolTrace, compileTrace, execTrace *metrics.Trace
 	activeCompileTrace                 *metrics.Trace
+	// overcommitTrace samples the budget's overcommit ratio in permille
+	// (the thrash severity the pressure model responds to).
+	overcommitTrace *metrics.Trace
 
 	// compile-memory per-query profile (for the compile-memory
 	// experiments): sum/count/max in bytes.
@@ -219,6 +230,10 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		compileTrace:       metrics.NewTrace("compile"),
 		execTrace:          metrics.NewTrace("exec"),
 		activeCompileTrace: metrics.NewTrace("active-compiles"),
+		overcommitTrace:    metrics.NewTrace("overcommit-permille"),
+	}
+	if cfg.Pressure.Enabled {
+		s.budget.SetPressure(cfg.Pressure)
 	}
 
 	overhead := s.budget.NewTracker("overhead")
@@ -239,9 +254,15 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		return t
 	}
 
-	// Subcomponents.
-	s.pool = bufferpool.New(cfg.BufferPool, s.budget.NewTracker("bufferpool"))
-	s.cache = plancache.New(inVAS(s.budget.NewTracker("plancache")))
+	// Subcomponents. The caches are reclaimable (the pager steals their
+	// pages for free); everything else counts as wired memory under the
+	// pressure model.
+	poolTracker := s.budget.NewTracker("bufferpool")
+	poolTracker.MarkReclaimable()
+	s.pool = bufferpool.New(cfg.BufferPool, poolTracker)
+	cacheTracker := inVAS(s.budget.NewTracker("plancache"))
+	cacheTracker.MarkReclaimable()
+	s.cache = plancache.New(cacheTracker)
 	s.layout = storage.NewLayout(cat)
 
 	govOpts := core.Options{
@@ -260,7 +281,9 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 	} else {
 		govOpts.Gateways = gateway.DefaultConfig(cfg.CPUs, contested)
 	}
-	gov, err := core.NewGovernor(govOpts, inVAS(s.budget.NewTracker("compile")))
+	compileTracker := inVAS(s.budget.NewTracker("compile"))
+	compileTracker.AllowOvercommit()
+	gov, err := core.NewGovernor(govOpts, compileTracker)
 	if err != nil {
 		return nil, err
 	}
@@ -268,8 +291,18 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 
 	execTracker := inVAS(s.budget.NewTracker("exec"))
 	execTracker.SetLimit(int64(cfg.ExecGrantLimitFrac * float64(contested)))
+	execTracker.AllowOvercommit()
 	grants := executor.NewGrantManager(execTracker, cfg.Executor.GrantTimeout)
 	s.exec = executor.New(cfg.Executor, s.pool, s.layout, s.cpu, grants, cfg.Optimizer.Cost)
+	if cfg.Pressure.Enabled {
+		// Thrash penalties: every CPU quantum and disk transfer stretches
+		// with the paging slowdown, and executions refault their granted
+		// workspace. The hooks read budget state at call time, so the
+		// penalty tracks pressure as it develops — deterministically.
+		s.cpu.SetDilation(s.budget.Slowdown)
+		s.pool.SetDilation(s.budget.Slowdown)
+		s.exec.SetPressure(s.budget.Slowdown)
+	}
 
 	est := stats.NewEstimator(cat)
 	s.opt = optimizer.New(est, cfg.Optimizer)
@@ -335,10 +368,19 @@ func (s *Server) housekeeping(t *vtime.Task) {
 		// Memory freed by finished compilations doesn't signal the grant
 		// queue on its own; give waiting grants a chance to retry.
 		s.exec.Grants().Kick()
+		// Page steal: with wired memory past the paging threshold the
+		// pager takes buffer-pool frames each tick, trading cache hit
+		// rate for swap room — the visible half of thrashing.
+		if s.cfg.Pressure.Enabled && s.cfg.Pressure.StealFrac > 0 {
+			if over := s.budget.WiredOverBytes(); over > 0 {
+				s.pool.StealPages(int64(s.cfg.Pressure.StealFrac * float64(over)))
+			}
+		}
 		s.poolTrace.Add(t.Now(), s.pool.Bytes())
 		s.compileTrace.Add(t.Now(), s.gov.Tracker().Used())
 		s.execTrace.Add(t.Now(), s.exec.Grants().Tracker().Used())
 		s.activeCompileTrace.Add(t.Now(), int64(s.gov.Active()))
+		s.overcommitTrace.Add(t.Now(), int64(s.budget.OvercommitRatio()*1000))
 	}
 }
 
@@ -415,7 +457,14 @@ func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 		Work: func(tasks int) {
 			s.cpu.Use(t, time.Duration(tasks)*s.cfg.CompileTaskCPU)
 			if s.cfg.CompileTaskWait > 0 {
-				t.Sleep(time.Duration(tasks) * s.cfg.CompileTaskWait)
+				// Metadata fetches and latching stretch with the paging
+				// slowdown too: a thrashing machine faults on catalog
+				// pages like everything else.
+				wait := time.Duration(tasks) * s.cfg.CompileTaskWait
+				if f := s.budget.Slowdown(); f > 1 {
+					wait = time.Duration(float64(wait) * f)
+				}
+				t.Sleep(wait)
 			}
 		},
 		BestEffort: comp.ShouldYieldBestEffort,
@@ -478,6 +527,14 @@ func (s *Server) Traces() (pool, compile, exec, activeCompiles *metrics.Trace) {
 	return s.poolTrace, s.compileTrace, s.execTrace, s.activeCompileTrace
 }
 
+// OvercommitTrace returns the overcommit-ratio samples (permille, every
+// broker interval) — the thrash-severity curve of the run.
+func (s *Server) OvercommitTrace() *metrics.Trace { return s.overcommitTrace }
+
+// PageStealBytes returns how much buffer-pool memory the pager stole
+// while the machine was overcommitted.
+func (s *Server) PageStealBytes() int64 { return s.pool.StolenBytes() }
+
 // CompileMemProfile returns (mean, max) per-query compile memory in bytes.
 func (s *Server) CompileMemProfile() (mean, max int64) {
 	if s.compileMemN == 0 {
@@ -492,6 +549,11 @@ func (s *Server) Report() string {
 	r := fmt.Sprintf("engine: completed=%d errors=%v\n%s%s\n%s\ncompile-mem mean=%s max=%s\ncompile times: %s\n",
 		s.rec.Completed(), s.rec.Errors(), s.gov.Report(), s.pool.String(), s.cache.String(),
 		mem.FormatBytes(mean), mem.FormatBytes(maxB), s.compileHist.String())
+	if s.cfg.Pressure.Enabled {
+		r += fmt.Sprintf("paging: wired-peak=%s page-steal=%s cpu-stall=%v exec-refault=%v\n",
+			mem.FormatBytes(s.budget.WiredPeak()), mem.FormatBytes(s.PageStealBytes()),
+			s.cpu.StallTime(), s.exec.PageStallTotal())
+	}
 	if s.brk != nil {
 		r += s.brk.Report()
 	}

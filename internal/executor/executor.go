@@ -166,6 +166,16 @@ type Config struct {
 	// (write + later read of spilled partitions), charged against the
 	// disk channels.
 	SpillExtentTime time.Duration
+	// RefaultExtentTime is the nominal disk time per refaulted workspace
+	// extent when the machine is thrashing: an overcommitted machine
+	// pages parts of each query's granted workspace out and back in,
+	// costing (slowdown-1) * grant-extents of extra transfers. The
+	// transfers ride the same dilated disk channels as every other I/O,
+	// so the effective cost is superlinear in the slowdown — deliberately:
+	// refault traffic on a thrashing machine is itself slowed by the
+	// thrash. 0 disables the penalty (it also stays off until SetPressure
+	// installs a slowdown source).
+	RefaultExtentTime time.Duration
 }
 
 // DefaultConfig returns the calibrated executor tuning.
@@ -181,6 +191,9 @@ func DefaultConfig() Config {
 		// engine did. Set MinGrantFrac < 1 to enable it.
 		MinGrantFrac:    1.0,
 		SpillExtentTime: 200 * time.Millisecond, // write + re-read per spilled extent
+		// One paged-out-and-back workspace extent costs one disk
+		// round-trip, same as a spill extent.
+		RefaultExtentTime: 200 * time.Millisecond,
 	}
 }
 
@@ -191,7 +204,11 @@ type Stats struct {
 	CPUTime     time.Duration
 	GrantBytes  int64 // bytes actually granted
 	SpillBytes  int64 // shortfall spilled to disk (reduced grant)
-	Elapsed     time.Duration
+	// PageStallTime is the nominal (pre-dilation) disk time charged for
+	// refaulting the workspace on an overcommitted machine; the virtual
+	// time actually spent is this stretched by the slowdown in effect.
+	PageStallTime time.Duration
+	Elapsed       time.Duration
 }
 
 // Executor runs plans.
@@ -203,7 +220,12 @@ type Executor struct {
 	grants *GrantManager
 	cost   plan.CostModel
 
-	executed uint64
+	// pressure reports the machine's current paging slowdown (nil or
+	// func returning <= 1 when healthy); drives workspace refaults.
+	pressure func() float64
+
+	executed       uint64
+	pageStallTotal time.Duration
 }
 
 // New creates an executor.
@@ -214,8 +236,17 @@ func New(cfg Config, pool *bufferpool.Pool, layout *storage.Layout, cpu *vtime.C
 	return &Executor{cfg: cfg, pool: pool, layout: layout, cpu: cpu, grants: grants, cost: cost}
 }
 
+// SetPressure installs the paging-slowdown source (the engine wires the
+// memory budget's Slowdown). A factor above 1 makes executions refault
+// part of their granted workspace; see Config.RefaultExtentTime.
+func (e *Executor) SetPressure(fn func() float64) { e.pressure = fn }
+
 // Executed returns the number of completed executions.
 func (e *Executor) Executed() uint64 { return e.executed }
+
+// PageStallTotal returns aggregate workspace-refault disk time charged
+// across all executions.
+func (e *Executor) PageStallTotal() time.Duration { return e.pageStallTotal }
 
 // Grants exposes the grant manager.
 func (e *Executor) Grants() *GrantManager { return e.grants }
@@ -246,6 +277,18 @@ func (e *Executor) Execute(t *vtime.Task, p *plan.Plan, rng *rand.Rand) (Stats, 
 	if st.SpillBytes > 0 && e.cfg.SpillExtentTime > 0 {
 		extents := (st.SpillBytes + e.pool.ExtentBytes() - 1) / e.pool.ExtentBytes()
 		e.pool.DiskDelay(t, time.Duration(extents)*e.cfg.SpillExtentTime)
+	}
+	// On a thrashing machine part of the granted workspace was paged out
+	// mid-run and must fault back in: (slowdown-1) extra transfers per
+	// workspace extent, against the same disk channels.
+	if e.pressure != nil && granted > 0 && e.cfg.RefaultExtentTime > 0 {
+		if f := e.pressure(); f > 1 {
+			extents := (granted + e.pool.ExtentBytes() - 1) / e.pool.ExtentBytes()
+			stall := time.Duration((f - 1) * float64(extents) * float64(e.cfg.RefaultExtentTime))
+			st.PageStallTime = stall
+			e.pageStallTotal += stall
+			e.pool.DiskDelay(t, stall)
+		}
 	}
 	e.executed++
 	st.Elapsed = t.Now() - start

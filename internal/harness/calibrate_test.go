@@ -10,13 +10,12 @@ import (
 	"compilegate/internal/optimizer"
 )
 
-// TestCalibrateGrid sweeps the key simulation knobs and prints the
-// throttled-vs-baseline split for each. Run explicitly with
-//
-//	go test ./internal/harness -run TestCalibrateGrid -v -calibrate
-//
-// (kept cheap enough for -short skips; used to pick DESIGN.md's final
-// calibration).
+// TestCalibrateGrid sweeps a few engine knobs and prints the
+// throttled-vs-baseline split for each — a quick harness-level probe.
+// The real calibration subsystem is internal/scenario's Calibration +
+// cmd/calibrate, which sweeps the pressure-model grid with fidelity
+// scoring against Figures 3-5; this test predates it and stays as a
+// cheap diagnostic of the default (uncalibrated) machine.
 func TestCalibrateGrid(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration grid skipped in -short")

@@ -81,6 +81,11 @@ type Result struct {
 	// Mid-run averages sampled inside the measurement window.
 	AvgPoolBytes, AvgCompileBytes, AvgExecBytes int64
 	AvgActiveCompiles                           float64
+	// AvgOvercommitRatio is the mean wired-memory overcommit ratio inside
+	// the window (>1 means the machine spent the window thrashing).
+	AvgOvercommitRatio float64
+	// PageStealBytes is buffer-pool memory the pager stole over the run.
+	PageStealBytes int64
 	// Report is the engine's diagnostic dump.
 	Report string
 }
@@ -186,6 +191,8 @@ func Run(o Options) (*Result, error) {
 	res.AvgCompileBytes = traceWindowAvg(compTr, o.Warmup, o.Horizon)
 	res.AvgExecBytes = traceWindowAvg(execTr, o.Warmup, o.Horizon)
 	res.AvgActiveCompiles = float64(traceWindowAvg(activeTr, o.Warmup, o.Horizon))
+	res.AvgOvercommitRatio = float64(traceWindowAvg(srv.OvercommitTrace(), o.Warmup, o.Horizon)) / 1000
+	res.PageStealBytes = srv.PageStealBytes()
 	if chain := srv.Governor().Chain(); chain != nil {
 		res.GatewayTimeouts = chain.Timeouts()
 	}

@@ -8,6 +8,11 @@
 // which would otherwise fail can first shrink caches — the same last-resort
 // path SQL Server uses before returning error 701.
 //
+// An optional PressureModel (pressure.go) extends the budget with swap:
+// trackers marked AllowOvercommit may reserve past physical memory up to a
+// commit limit, and the budget reports the resulting paging severity
+// (OvercommitRatio, Slowdown) so the engine can charge thrash costs.
+//
 // All methods are intended for single-threaded use from vtime task context;
 // the package performs no locking by design (determinism).
 package mem
@@ -51,6 +56,14 @@ type Reclaimer func(want int64) int64
 type Budget struct {
 	total int64
 	used  int64
+
+	// Pressure-model state (see pressure.go): commitLimit extends the
+	// budget with swap for overcommittable trackers; wired tracks the
+	// non-reclaimable share of used.
+	pressure    PressureModel
+	commitLimit int64
+	wired       int64
+	wiredPeak   int64
 
 	trackers   []*Tracker
 	reclaimers []reclaimerEntry
@@ -194,14 +207,16 @@ func (g *Group) reclaim(want int64) int64 {
 
 // Tracker accounts for one component's share of the budget.
 type Tracker struct {
-	name   string
-	budget *Budget
-	group  *Group // optional sub-budget
-	used   int64
-	peak   int64
-	limit  int64 // optional per-component cap; 0 = none
-	allocs uint64
-	fails  uint64
+	name        string
+	budget      *Budget
+	group       *Group // optional sub-budget
+	used        int64
+	peak        int64
+	limit       int64 // optional per-component cap; 0 = none
+	reclaimable bool  // cache memory, excluded from wired accounting
+	overcommit  bool  // may reserve past physical up to the commit limit
+	allocs      uint64
+	fails       uint64
 }
 
 // SetGroup places the tracker in a sub-budget group. Must be called
@@ -266,19 +281,34 @@ func (t *Tracker) Reserve(n int64) error {
 		}
 	}
 	if t.budget.used+n > t.budget.total {
+		// Beyond physical memory: steal from caches first (the pager
+		// drops clean file pages before it swaps anything).
 		need := t.budget.used + n - t.budget.total
 		t.budget.reclaim(need)
-		if t.budget.used+n > t.budget.total {
+		// Overcommittable trackers may then spill into swap up to the
+		// commit limit; everyone else fails at physical memory.
+		ceiling := t.budget.total
+		if t.overcommit && t.budget.commitLimit > ceiling {
+			ceiling = t.budget.commitLimit
+		}
+		if t.budget.used+n > ceiling {
 			t.fails++
 			t.budget.oomCount++
-			return fmt.Errorf("%s: budget exhausted (%s used of %s): %w",
-				t.name, FormatBytes(t.budget.used), FormatBytes(t.budget.total), ErrOutOfMemory)
+			return fmt.Errorf("%s: budget exhausted (%s used of %s, commit limit %s): %w",
+				t.name, FormatBytes(t.budget.used), FormatBytes(t.budget.total),
+				FormatBytes(t.budget.CommitLimit()), ErrOutOfMemory)
 		}
 	}
 	t.budget.used += n
 	t.used += n
 	if t.used > t.peak {
 		t.peak = t.used
+	}
+	if !t.reclaimable {
+		t.budget.wired += n
+		if t.budget.wired > t.budget.wiredPeak {
+			t.budget.wiredPeak = t.budget.wired
+		}
 	}
 	if g := t.group; g != nil {
 		g.used += n
@@ -309,6 +339,9 @@ func (t *Tracker) Release(n int64) {
 	}
 	t.used -= n
 	t.budget.used -= n
+	if !t.reclaimable {
+		t.budget.wired -= n
+	}
 	if t.group != nil {
 		t.group.used -= n
 	}

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestOvercommitAccounting pins the wired/overcommit bookkeeping the
+// thrash model is built on: reclaimable trackers never count as wired,
+// overcommittable trackers may reserve into swap up to the commit limit,
+// and the ratio/slowdown follow the reservations exactly.
+func TestOvercommitAccounting(t *testing.T) {
+	b := NewBudget(1000)
+	b.SetPressure(PressureModel{
+		Enabled:          true,
+		CommitFrac:       1.5, // commit limit 1500
+		CacheReserveFrac: 0.2, // paging threshold 800
+		SlowdownSlope:    4,
+		MaxSlowdown:      10,
+	})
+	if got := b.CommitLimit(); got != 1500 {
+		t.Fatalf("commit limit = %d, want 1500", got)
+	}
+
+	cache := b.NewTracker("cache")
+	cache.MarkReclaimable()
+	wiredA := b.NewTracker("wired-a")
+	compile := b.NewTracker("compile")
+	compile.AllowOvercommit()
+
+	// Cache memory is used but never wired.
+	cache.MustReserve(500)
+	if b.Used() != 500 || b.WiredBytes() != 0 {
+		t.Fatalf("after cache reserve: used=%d wired=%d", b.Used(), b.WiredBytes())
+	}
+	if r := b.OvercommitRatio(); !almost(r, 0) {
+		t.Fatalf("ratio with only cache = %g", r)
+	}
+
+	// Wired memory counts toward the ratio against the paging threshold.
+	wiredA.MustReserve(400)
+	if b.WiredBytes() != 400 {
+		t.Fatalf("wired = %d, want 400", b.WiredBytes())
+	}
+	if r := b.OvercommitRatio(); !almost(r, 400.0/800.0) {
+		t.Fatalf("ratio = %g, want 0.5", r)
+	}
+	if f := b.Slowdown(); !almost(f, 1) {
+		t.Fatalf("slowdown below threshold = %g, want 1", f)
+	}
+
+	// Crossing the paging threshold engages the slowdown and reports the
+	// overshoot the pager wants back.
+	compile.MustReserve(600) // wired 1000, ratio 1.25
+	if r := b.OvercommitRatio(); !almost(r, 1.25) {
+		t.Fatalf("ratio = %g, want 1.25", r)
+	}
+	if f := b.Slowdown(); !almost(f, 1+4*0.25) {
+		t.Fatalf("slowdown = %g, want 2", f)
+	}
+	if over := b.WiredOverBytes(); over != 200 {
+		t.Fatalf("wired overshoot = %d, want 200", over)
+	}
+
+	// Release restores the accounting symmetrically.
+	compile.Release(600)
+	if b.WiredBytes() != 400 || b.WiredPeak() != 1000 {
+		t.Fatalf("after release: wired=%d peak=%d", b.WiredBytes(), b.WiredPeak())
+	}
+}
+
+// TestOvercommitCeilings pins who may cross physical memory: only
+// overcommittable trackers, and only up to the commit limit — and that
+// reclaimable caches are shrunk before anyone swaps.
+func TestOvercommitCeilings(t *testing.T) {
+	b := NewBudget(1000)
+	b.SetPressure(PressureModel{Enabled: true, CommitFrac: 1.2})
+
+	cache := b.NewTracker("cache")
+	cache.MarkReclaimable()
+	var cacheBytes int64
+	b.RegisterReclaimer("cache", 1, func(want int64) int64 {
+		freed := want
+		if freed > cacheBytes {
+			freed = cacheBytes
+		}
+		cacheBytes -= freed
+		cache.Release(freed)
+		return freed
+	})
+	plain := b.NewTracker("plain")
+	swap := b.NewTracker("swap")
+	swap.AllowOvercommit()
+
+	cacheBytes = 300
+	cache.MustReserve(300)
+	plain.MustReserve(700) // budget full at physical
+
+	// A plain tracker beyond physical first drains the cache, then fails.
+	if err := plain.Reserve(400); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("plain reserve past physical = %v, want OOM", err)
+	}
+	if cacheBytes != 0 {
+		t.Fatalf("reclaimer left %d cache bytes", cacheBytes)
+	}
+	if err := plain.Reserve(300); err != nil { // fits after the reclaim
+		t.Fatal(err)
+	}
+
+	// An overcommittable tracker swaps up to the commit limit (1200)...
+	if err := swap.Reserve(150); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 1150 || b.Free() >= 0 {
+		t.Fatalf("used=%d free=%d, want overcommitted budget", b.Used(), b.Free())
+	}
+	// ...and not a byte further.
+	if err := swap.Reserve(100); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("reserve past commit limit = %v, want OOM", err)
+	}
+}
+
+// TestPressureModelDisabled pins that the zero model keeps the strict
+// semantics every existing component relies on.
+func TestPressureModelDisabled(t *testing.T) {
+	b := NewBudget(1000)
+	tr := b.NewTracker("t")
+	tr.AllowOvercommit() // no pressure model installed: flag is inert
+	if err := tr.Reserve(1001); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("overcommit without model = %v, want OOM", err)
+	}
+	if f := b.Slowdown(); f != 1 {
+		t.Fatalf("slowdown without model = %g", f)
+	}
+	var m PressureModel
+	if f := m.Slowdown(5); f != 1 {
+		t.Fatalf("disabled model slowdown = %g", f)
+	}
+}

@@ -1,0 +1,377 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"compilegate/internal/engine"
+	"compilegate/internal/harness"
+	"compilegate/internal/optimizer"
+)
+
+// PressureKnobs is one point of the calibration grid: the pressure-model
+// and compile-profile settings that shape the thrash regime of Figures
+// 3-5. The zero value of a field means "keep the engine default".
+type PressureKnobs struct {
+	// Name labels the knob set in reports ("base", "steep", ...).
+	Name string
+
+	// CacheReserveFrac sets where paging starts: wired memory beyond
+	// (1-CacheReserveFrac)*RAM pays the thrash penalty.
+	CacheReserveFrac float64
+	// SlowdownSlope is the paging slowdown per unit of overcommit.
+	SlowdownSlope float64
+	// MaxSlowdown caps the slowdown factor.
+	MaxSlowdown float64
+	// CommitFrac sizes commit (physical+swap) as a multiple of RAM.
+	CommitFrac float64
+	// StealFrac is the per-tick pager steal fraction.
+	StealFrac float64
+
+	// CompileTaskWait is the non-CPU time per optimizer task; it sets how
+	// long compilations hold their memory, and with it the steady-state
+	// compile concurrency the monitor ladder sees.
+	CompileTaskWait time.Duration
+	// ExecGrantLimitFrac caps execution-grant memory as a fraction of
+	// RAM; it sets the wired-memory base the compile pileup lands on.
+	ExecGrantLimitFrac float64
+	// MemoBytesScale multiplies the memo's per-structure memory charge:
+	// heavier compilations reach the monitor thresholds sooner without
+	// taking longer, preserving the §5.2 10-90 s compile profile.
+	MemoBytesScale float64
+}
+
+// Apply overlays the knob set on an engine config.
+func (k PressureKnobs) Apply(c *engine.Config) {
+	if k.CacheReserveFrac > 0 {
+		c.Pressure.CacheReserveFrac = k.CacheReserveFrac
+	}
+	if k.SlowdownSlope > 0 {
+		c.Pressure.SlowdownSlope = k.SlowdownSlope
+	}
+	if k.MaxSlowdown > 0 {
+		c.Pressure.MaxSlowdown = k.MaxSlowdown
+	}
+	if k.CommitFrac > 0 {
+		c.Pressure.CommitFrac = k.CommitFrac
+	}
+	if k.StealFrac > 0 {
+		c.Pressure.StealFrac = k.StealFrac
+	}
+	if k.CompileTaskWait > 0 {
+		c.CompileTaskWait = k.CompileTaskWait
+	}
+	if k.ExecGrantLimitFrac > 0 {
+		c.ExecGrantLimitFrac = k.ExecGrantLimitFrac
+	}
+	if k.MemoBytesScale > 0 {
+		if c.Optimizer.WorkBatch == 0 {
+			c.Optimizer = optimizer.DefaultConfig()
+		}
+		c.Optimizer.Memo.BytesPerGroup = int64(k.MemoBytesScale * float64(c.Optimizer.Memo.BytesPerGroup))
+		c.Optimizer.Memo.BytesPerExpr = int64(k.MemoBytesScale * float64(c.Optimizer.Memo.BytesPerExpr))
+	}
+}
+
+// CalibratedKnobs returns the knob set cmd/calibrate selected for the
+// paper's §5 throughput experiments (Figures 3-5): against the default
+// machine it stretches per-task compile waits to 180 ms — compilations
+// hold their memory for minutes, so the steady-state compile concurrency
+// the monitor ladder was designed for actually materializes — and trims
+// the execution-grant share to 0.35 so the compile pileup, not grant
+// admission, is the contended resource. The pressure-model fields mirror
+// mem.DefaultPressureModel; they are spelled out so reports show the
+// complete operating point.
+//
+// With these knobs the unthrottled baseline ignites the paging spiral
+// (compile slowdown -> more concurrent compilations -> more wired
+// memory) while the gateways keep the throttled server below the paging
+// threshold. See EXPERIMENTS.md, "Calibration methodology".
+func CalibratedKnobs() PressureKnobs {
+	return PressureKnobs{
+		Name:               "selected",
+		CacheReserveFrac:   0.45,
+		SlowdownSlope:      14,
+		MaxSlowdown:        24,
+		CommitFrac:         1.5,
+		StealFrac:          0.5,
+		CompileTaskWait:    180 * time.Millisecond,
+		ExecGrantLimitFrac: 0.35,
+	}
+}
+
+// CalibrationPoint is one grid cell's outcome: a throttled/baseline pair
+// at one client count under one knob set.
+type CalibrationPoint struct {
+	Knobs     PressureKnobs
+	Clients   int
+	Throttled *harness.Result
+	Baseline  *harness.Result
+	Err       error
+}
+
+// Ratio returns throttled/baseline completions (0 when unavailable).
+func (p CalibrationPoint) Ratio() float64 {
+	if p.Err != nil || p.Baseline == nil || p.Baseline.Completed == 0 {
+		return 0
+	}
+	return float64(p.Throttled.Completed) / float64(p.Baseline.Completed)
+}
+
+// FidelityTarget is the throughput separation the paper shows at one
+// client count.
+type FidelityTarget struct {
+	Clients int
+	// Ratio is the throttled/baseline separation to aim for.
+	Ratio float64
+	// AtLeast relaxes the target to a floor: any separation >= Ratio
+	// scores perfectly (Figure 5's "baseline collapses" has no upper
+	// bound worth matching).
+	AtLeast bool
+}
+
+// PaperTargets returns the Figures 3-5 separations: ~1.35x at 30
+// clients (Figure 3), throttled clearly ahead at 35 (Figure 4), and a
+// collapsing baseline at 40 (Figure 5).
+func PaperTargets() []FidelityTarget {
+	return []FidelityTarget{
+		{Clients: 30, Ratio: 1.35},
+		{Clients: 35, Ratio: 1.30, AtLeast: true},
+		{Clients: 40, Ratio: 1.50, AtLeast: true},
+	}
+}
+
+// Calibration describes a sweep: every knob set crossed with every
+// client count, each cell a throttled/baseline pair.
+type Calibration struct {
+	Knobs   []PressureKnobs
+	Clients []int
+	// Horizon/Warmup bound each run's measurement window.
+	Horizon, Warmup time.Duration
+	Seed            int64
+	// Targets score knob sets; nil uses PaperTargets.
+	Targets []FidelityTarget
+	// Workers bounds concurrent simulations (0 = all cores).
+	Workers int
+}
+
+// DefaultCalibration returns the grid cmd/calibrate ships: the selected
+// calibration plus its neighborhood, so reruns show the sensitivity of
+// every knob.
+func DefaultCalibration() Calibration {
+	base := CalibratedKnobs()
+	vary := func(name string, f func(*PressureKnobs)) PressureKnobs {
+		k := base
+		k.Name = name
+		f(&k)
+		return k
+	}
+	return Calibration{
+		Knobs: []PressureKnobs{
+			base,
+			vary("reserve-lo", func(k *PressureKnobs) { k.CacheReserveFrac -= 0.05 }),
+			vary("reserve-hi", func(k *PressureKnobs) { k.CacheReserveFrac += 0.05 }),
+			vary("slope-lo", func(k *PressureKnobs) { k.SlowdownSlope /= 2 }),
+			vary("slope-hi", func(k *PressureKnobs) { k.SlowdownSlope *= 2 }),
+			vary("wait-lo", func(k *PressureKnobs) { k.CompileTaskWait /= 2 }),
+			vary("grant-hi", func(k *PressureKnobs) { k.ExecGrantLimitFrac += 0.10 }),
+		},
+		Clients: []int{30, 35, 40},
+		Horizon: 3 * time.Hour,
+		Warmup:  45 * time.Minute,
+		Seed:    1,
+	}
+}
+
+// scenarios expands the grid into throttled/baseline scenario pairs in a
+// fixed order: for cell i, index 2i is throttled and 2i+1 its baseline.
+func (c Calibration) scenarios() []Scenario {
+	out := make([]Scenario, 0, 2*len(c.Knobs)*len(c.Clients))
+	for _, k := range c.Knobs {
+		for _, cl := range c.Clients {
+			k := k
+			s := Sales(cl)
+			s.Name = fmt.Sprintf("cal-%s-c%d", k.Name, cl)
+			s.Description = fmt.Sprintf("calibration cell %s at %d clients", k.Name, cl)
+			s.Horizon, s.Warmup = c.Horizon, c.Warmup
+			s.Seed = c.Seed
+			s.Engine = func(cfg *engine.Config) { k.Apply(cfg) }
+			out = append(out, s, s.Baseline())
+		}
+	}
+	return out
+}
+
+// Run executes the whole grid through RunSweep (every cell is two
+// independent simulations; all of them run concurrently on real cores)
+// and collects the outcomes into a report.
+func (c Calibration) Run() *CalibrationReport {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Horizon <= 0 {
+		c.Horizon, c.Warmup = 3*time.Hour, 45*time.Minute
+	}
+	targets := c.Targets
+	if targets == nil {
+		targets = PaperTargets()
+	}
+	results := RunSweep(c.scenarios(), c.Workers)
+	rep := &CalibrationReport{Targets: targets}
+	i := 0
+	for _, k := range c.Knobs {
+		for _, cl := range c.Clients {
+			th, ba := results[i], results[i+1]
+			i += 2
+			p := CalibrationPoint{Knobs: k, Clients: cl}
+			switch {
+			case th.Err != nil:
+				p.Err = th.Err
+			case ba.Err != nil:
+				p.Err = ba.Err
+			default:
+				p.Throttled, p.Baseline = th.Result, ba.Result
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep
+}
+
+// CalibrationReport holds a finished grid with its fidelity targets.
+type CalibrationReport struct {
+	Points  []CalibrationPoint
+	Targets []FidelityTarget
+}
+
+func (r *CalibrationReport) target(clients int) (FidelityTarget, bool) {
+	for _, t := range r.Targets {
+		if t.Clients == clients {
+			return t, true
+		}
+	}
+	return FidelityTarget{}, false
+}
+
+// Score returns the fidelity of one knob set to the targets: 0 is a
+// perfect match, larger is worse. Cells at client counts without a
+// target are ignored; failed cells score as a total miss.
+func (r *CalibrationReport) Score(name string) float64 {
+	var score float64
+	for _, p := range r.Points {
+		if p.Knobs.Name != name {
+			continue
+		}
+		t, ok := r.target(p.Clients)
+		if !ok {
+			continue
+		}
+		if p.Err != nil {
+			score += t.Ratio * t.Ratio
+			continue
+		}
+		ratio := p.Ratio()
+		if t.AtLeast && ratio >= t.Ratio {
+			continue
+		}
+		d := ratio - t.Ratio
+		score += d * d
+	}
+	return score
+}
+
+// Best returns the knob set with the lowest Score. Ties break toward
+// the earlier grid entry, so reruns are deterministic.
+func (r *CalibrationReport) Best() (PressureKnobs, float64) {
+	var best PressureKnobs
+	bestScore := -1.0
+	for _, p := range r.Points {
+		if bestScore >= 0 && p.Knobs.Name == best.Name {
+			continue
+		}
+		s := r.Score(p.Knobs.Name)
+		if bestScore < 0 || s < bestScore {
+			best, bestScore = p.Knobs, s
+		}
+	}
+	return best, bestScore
+}
+
+// CSV renders every cell as one row — the machine-readable sweep output.
+func (r *CalibrationReport) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("knobs,clients,reserve_frac,slope,wait_ms,grant_frac," +
+		"throttled,baseline,ratio,throttled_errors,baseline_errors," +
+		"baseline_overcommit,baseline_steal_mib\n")
+	for _, p := range r.Points {
+		if p.Err != nil {
+			fmt.Fprintf(&sb, "%s,%d,,,,,,,,,,,error: %v\n", p.Knobs.Name, p.Clients, p.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%s,%d,%.2f,%.1f,%d,%.2f,%d,%d,%.3f,%d,%d,%.2f,%d\n",
+			p.Knobs.Name, p.Clients,
+			p.Knobs.CacheReserveFrac, p.Knobs.SlowdownSlope,
+			p.Knobs.CompileTaskWait.Milliseconds(), p.Knobs.ExecGrantLimitFrac,
+			p.Throttled.Completed, p.Baseline.Completed, p.Ratio(),
+			p.Throttled.Errors, p.Baseline.Errors,
+			p.Baseline.AvgOvercommitRatio, p.Baseline.PageStealBytes>>20)
+	}
+	return sb.String()
+}
+
+// Markdown renders one table per knob set, ready for EXPERIMENTS.md.
+func (r *CalibrationReport) Markdown() string {
+	names := make([]string, 0)
+	seen := map[string]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Knobs.Name] {
+			seen[p.Knobs.Name] = true
+			names = append(names, p.Knobs.Name)
+		}
+	}
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "### %s (score %.3f)\n\n", name, r.Score(name))
+		sb.WriteString("| clients | throttled | baseline | ratio | target | baseline overcommit |\n")
+		sb.WriteString("|---|---|---|---|---|---|\n")
+		for _, p := range r.Points {
+			if p.Knobs.Name != name {
+				continue
+			}
+			tgt := "—"
+			if t, ok := r.target(p.Clients); ok {
+				tgt = fmt.Sprintf("%.2f", t.Ratio)
+				if t.AtLeast {
+					tgt = "≥" + tgt
+				}
+			}
+			if p.Err != nil {
+				fmt.Fprintf(&sb, "| %d | error | error | — | %s | — |\n", p.Clients, tgt)
+				continue
+			}
+			fmt.Fprintf(&sb, "| %d | %d | %d | %.2fx | %s | %.2f |\n",
+				p.Clients, p.Throttled.Completed, p.Baseline.Completed,
+				p.Ratio(), tgt, p.Baseline.AvgOvercommitRatio)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Ranking returns knob-set names ordered best to worst.
+func (r *CalibrationReport) Ranking() []string {
+	names := make([]string, 0)
+	seen := map[string]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Knobs.Name] {
+			seen[p.Knobs.Name] = true
+			names = append(names, p.Knobs.Name)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		return r.Score(names[i]) < r.Score(names[j])
+	})
+	return names
+}

@@ -11,7 +11,10 @@ import (
 )
 
 // Sales returns the canonical §5 SALES experiment at the given client
-// count: the paper's 8-hour run measured from t = 3 h, throttling on.
+// count: the paper's 8-hour run measured from t = 3 h, throttling on,
+// under the pressure calibration cmd/calibrate selected (compilations
+// hold their memory for minutes, so an unthrottled server at 30+ clients
+// ignites compile-memory thrash instead of queuing politely).
 func Sales(clients int) Scenario {
 	return Scenario{
 		Name:        "sales",
@@ -23,6 +26,19 @@ func Sales(clients int) Scenario {
 		Warmup:      3 * time.Hour,
 		Throttled:   true,
 		Seed:        1,
+		Engine:      calibrated(nil),
+	}
+}
+
+// calibrated composes the §5 pressure calibration with an additional
+// engine delta (nil for none): every SALES-derived scenario starts from
+// the calibrated operating point, then applies its own override.
+func calibrated(extra func(*engine.Config)) func(*engine.Config) {
+	return func(c *engine.Config) {
+		CalibratedKnobs().Apply(c)
+		if extra != nil {
+			extra(c)
+		}
 	}
 }
 
@@ -65,7 +81,7 @@ func monitorAblation(n string) Scenario {
 	s.Name = "monitors-" + n
 	s.Description = "monitor-count ablation A-1: " + n + "-monitor ladder instead of 3"
 	ladder := monitorLadder(n)
-	s.Engine = func(c *engine.Config) { c.GatewayOverride = &ladder }
+	s.Engine = calibrated(func(c *engine.Config) { c.GatewayOverride = &ladder })
 	return s
 }
 
@@ -80,7 +96,7 @@ func init() {
 	fig2.Name = "figure2"
 	fig2.Description = "Figure 2 conditions: compilations throttle at the monitor ladder under memory pressure"
 	fig2.Horizon, fig2.Warmup = 30*time.Minute, 5*time.Minute
-	fig2.Engine = func(c *engine.Config) { c.MemoryBytes = 2 * mem.GiB }
+	fig2.Engine = calibrated(func(c *engine.Config) { c.MemoryBytes = 2 * mem.GiB })
 	Default.MustRegister(fig2)
 
 	Default.MustRegister(figure(3, 30, "paper: ~35% higher throughput"))
@@ -103,7 +119,7 @@ func init() {
 	noGov.Name = "no-governance"
 	noGov.Description = "ablation A-5 twin: neither broker nor throttling"
 	noGov.Throttled = false
-	noGov.Engine = func(c *engine.Config) { c.BrokerEnabled = false }
+	noGov.Engine = calibrated(func(c *engine.Config) { c.BrokerEnabled = false })
 	Default.MustRegister(noGov)
 
 	// The mixed workload: OLTP point queries bypass the ladder while
@@ -126,16 +142,16 @@ func init() {
 	be := Sales(30)
 	be.Name = "best-effort"
 	be.Description = "§4.1 best-effort plans under memory exhaustion (2 GiB machine)"
-	be.Engine = func(c *engine.Config) { c.MemoryBytes = 2 * mem.GiB }
+	be.Engine = calibrated(func(c *engine.Config) { c.MemoryBytes = 2 * mem.GiB })
 	Default.MustRegister(be)
 
 	beOff := Sales(30)
 	beOff.Name = "best-effort-off"
 	beOff.Description = "best-effort disabled: exhausted compilations fail with OOM"
-	beOff.Engine = func(c *engine.Config) {
+	beOff.Engine = calibrated(func(c *engine.Config) {
 		c.MemoryBytes = 2 * mem.GiB
 		c.BestEffort = false
-	}
+	})
 	Default.MustRegister(beOff)
 
 	// The demo-sized ad-hoc DSS run the examples use.

@@ -2,17 +2,17 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
 
-// Registry is a named collection of scenarios. It preserves registration
-// order (listings read like the paper's evaluation section) and is safe
-// for concurrent use.
+// Registry is a named collection of scenarios. Iteration (Names,
+// Scenarios, List) is sorted by name, so listings and docs snippets are
+// stable regardless of init wiring order. Safe for concurrent use.
 type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]Scenario
-	order  []string
 }
 
 // NewRegistry creates an empty registry.
@@ -32,7 +32,6 @@ func (r *Registry) Register(s Scenario) error {
 		return fmt.Errorf("scenario: duplicate name %q", s.Name)
 	}
 	r.byName[s.Name] = s
-	r.order = append(r.order, s.Name)
 	return nil
 }
 
@@ -51,19 +50,29 @@ func (r *Registry) Get(name string) (Scenario, bool) {
 	return s, ok
 }
 
-// Names returns the registered names in registration order.
+// Names returns the registered names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return append([]string(nil), r.order...)
+	out := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
-// Scenarios returns the registered scenarios in registration order.
+// Scenarios returns the registered scenarios sorted by name.
 func (r *Registry) Scenarios() []Scenario {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]Scenario, 0, len(r.order))
-	for _, name := range r.order {
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Scenario, 0, len(names))
+	for _, name := range names {
 		out = append(out, r.byName[name])
 	}
 	return out

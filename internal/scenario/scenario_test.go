@@ -69,10 +69,10 @@ func TestValidateRejectsBrokenScenarios(t *testing.T) {
 	}
 }
 
-func TestRegistryRejectsDuplicatesAndKeepsOrder(t *testing.T) {
+func TestRegistryRejectsDuplicatesAndSortsNames(t *testing.T) {
 	r := NewRegistry()
 	a, b := Sales(4), Sales(5)
-	a.Name, b.Name = "a", "b"
+	a.Name, b.Name = "b", "a" // registered out of name order on purpose
 	if err := r.Register(a); err != nil {
 		t.Fatal(err)
 	}
@@ -82,8 +82,13 @@ func TestRegistryRejectsDuplicatesAndKeepsOrder(t *testing.T) {
 	if err := r.Register(a); err == nil {
 		t.Fatal("duplicate registration accepted")
 	}
+	// Iteration is sorted by name regardless of registration order, so
+	// -list output and docs snippets stay stable.
 	if names := r.Names(); !reflect.DeepEqual(names, []string{"a", "b"}) {
 		t.Fatalf("names = %v", names)
+	}
+	if all := r.Scenarios(); len(all) != 2 || all[0].Name != "a" || all[1].Name != "b" {
+		t.Fatalf("scenarios not sorted: %v, %v", all[0].Name, all[1].Name)
 	}
 	if _, ok := r.Get("a"); !ok {
 		t.Fatal("registered scenario not found")

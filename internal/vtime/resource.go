@@ -91,9 +91,11 @@ func (m *Semaphore) Release() {
 // approximates processor sharing closely enough for throughput modelling
 // while keeping event counts low.
 type CPUSet struct {
-	sem     *Semaphore
-	quantum time.Duration
-	busy    time.Duration // aggregate CPU time consumed
+	sem      *Semaphore
+	quantum  time.Duration
+	busy     time.Duration // aggregate CPU time consumed
+	dilation func() float64
+	stall    time.Duration // extra occupancy charged by dilation
 }
 
 // NewCPUSet creates a CPU pool with n processors and the given scheduling
@@ -112,6 +114,18 @@ func (c *CPUSet) N() int { return c.sem.Cap() }
 // processors.
 func (c *CPUSet) BusyTime() time.Duration { return c.busy }
 
+// SetDilation installs a time-dilation hook: every quantum of useful work
+// occupies the processor for quantum*fn() of virtual time. The engine
+// wires this to the memory budget's paging slowdown so a thrashing
+// machine stretches every CPU-bound operation — the stall cycles a real
+// processor spends waiting on hard page faults. fn is re-read each
+// quantum, so the penalty tracks pressure as it develops. nil restores
+// undilated execution.
+func (c *CPUSet) SetDilation(fn func() float64) { c.dilation = fn }
+
+// StallTime returns the aggregate extra occupancy charged by dilation.
+func (c *CPUSet) StallTime() time.Duration { return c.stall }
+
 // Use consumes d of CPU time on behalf of t, competing with other tasks
 // for the processors.
 func (c *CPUSet) Use(t *Task, d time.Duration) {
@@ -120,10 +134,17 @@ func (c *CPUSet) Use(t *Task, d time.Duration) {
 		if d < q {
 			q = d
 		}
+		occupy := q
+		if c.dilation != nil {
+			if f := c.dilation(); f > 1 {
+				occupy = time.Duration(float64(q) * f)
+			}
+		}
 		c.sem.Acquire(t)
-		t.Sleep(q)
+		t.Sleep(occupy)
 		c.sem.Release()
-		c.busy += q
+		c.busy += occupy
+		c.stall += occupy - q
 		d -= q
 	}
 }
