@@ -67,10 +67,40 @@ func mustSweep(b *testing.B, scenarios ...scenario.Scenario) []*harness.Result {
 	return out
 }
 
+// simMeter accumulates scheduler-event counts across a benchmark's
+// simulation runs so every benchmark reports sim-events/sec — the
+// throughput of the simulator itself, independent of what the simulated
+// server achieved. Create it before b.N work starts and report at the
+// end.
+type simMeter struct {
+	events uint64
+	start  time.Time
+}
+
+func startSimMeter(b *testing.B) *simMeter {
+	b.ReportAllocs()
+	return &simMeter{start: time.Now()}
+}
+
+func (m *simMeter) add(results ...*harness.Result) {
+	for _, r := range results {
+		m.events += r.SimEvents
+	}
+}
+
+func (m *simMeter) addEvents(n uint64) { m.events += n }
+
+func (m *simMeter) report(b *testing.B) {
+	if sec := time.Since(m.start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(m.events)/sec, "sim-events/sec")
+	}
+}
+
 // BenchmarkFigure1MonitorLadder verifies and reports the monitor ladder:
 // thresholds strictly ascending, concurrency strictly descending
 // (4·CPU / 1·CPU / 1), timeouts ascending.
 func BenchmarkFigure1MonitorLadder(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		chain, err := gateway.NewChain(gateway.DefaultConfig(8, 4*mem.GiB))
 		if err != nil {
@@ -92,6 +122,7 @@ func BenchmarkFigure1MonitorLadder(b *testing.B) {
 // compilations block at monitors (flat regions in their memory curves)
 // and later compilations are blocked by earlier ones.
 func BenchmarkFigure2ThrottleTrace(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		sched := vtime.NewScheduler()
 		budget := mem.NewBudget(1 * mem.GiB)
@@ -123,17 +154,21 @@ func BenchmarkFigure2ThrottleTrace(b *testing.B) {
 		if waits == 0 {
 			b.Fatal("no gate blocking occurred; Figure 2 trace is flat")
 		}
+		meter.addEvents(sched.Events())
 		b.ReportMetric(waits.Seconds(), "gate-wait-s")
 	}
+	meter.report(b)
 }
 
 // throughputFigure runs one paper throughput figure (3, 4 or 5): the
 // throttled scenario and its baseline sweep concurrently.
 func throughputFigure(b *testing.B, clients int) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		s := benchScenario(clients)
 		res := mustSweep(b, s, s.Baseline())
 		th, ba := res[0], res[1]
+		meter.add(res...)
 		ratio, _ := harness.Compare(th, ba)
 		b.ReportMetric(float64(th.Completed), "throttled-completions")
 		b.ReportMetric(float64(ba.Completed), "baseline-completions")
@@ -141,6 +176,7 @@ func throughputFigure(b *testing.B, clients int) {
 		b.ReportMetric(float64(th.Errors), "throttled-errors")
 		b.ReportMetric(float64(ba.Errors), "baseline-errors")
 	}
+	meter.report(b)
 }
 
 // BenchmarkFigure3Throughput30 reproduces Figure 3 (30 clients): the
@@ -158,29 +194,35 @@ func BenchmarkFigure5Throughput40(b *testing.B) { throughputFigure(b, 40) }
 // clients saturate the server. All four populations run concurrently.
 func BenchmarkClientSweep(b *testing.B) {
 	counts := []int{10, 20, 30, 40}
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		scenarios := make([]scenario.Scenario, len(counts))
 		for j, clients := range counts {
 			scenarios[j] = benchScenario(clients)
 		}
 		for j, r := range mustSweep(b, scenarios...) {
+			meter.add(r)
 			b.ReportMetric(float64(r.Completed), "completions-"+strconv.Itoa(counts[j]))
 		}
 	}
+	meter.report(b)
 }
 
 // BenchmarkCompletionRates reproduces the §5.2 reliability claim:
 // throttling yields measurably higher completion rates (fewer resource
 // errors) under overload.
 func BenchmarkCompletionRates(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		s30, s40 := benchScenario(30), benchScenario(40)
 		res := mustSweep(b, s30, s30.Baseline(), s40, s40.Baseline())
+		meter.add(res...)
 		b.ReportMetric(completionRate(res[0]), "throttled-rate-30")
 		b.ReportMetric(completionRate(res[1]), "baseline-rate-30")
 		b.ReportMetric(completionRate(res[2]), "throttled-rate-40")
 		b.ReportMetric(completionRate(res[3]), "baseline-rate-40")
 	}
+	meter.report(b)
 }
 
 func completionRate(r *harness.Result) float64 {
@@ -201,6 +243,7 @@ func BenchmarkCompileMemoryByWorkload(b *testing.B) {
 	tpchOpt := optimizer.New(stats.NewEstimator(tpchCat), optimizer.DefaultConfig())
 	salesGen, tpchGen := workload.NewSales(), workload.NewTPCH()
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var salesBytes, tpchBytes int64
@@ -238,8 +281,10 @@ func BenchmarkCompileMemoryByWorkload(b *testing.B) {
 // BenchmarkQueryProfile reproduces the §5.2 workload profile: compiles of
 // 10-90 s and executions of 30 s - 10 min.
 func BenchmarkQueryProfile(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		r := mustSweep(b, benchScenario(30))[0]
+		meter.add(r)
 		b.ReportMetric(r.CompileP50.Seconds(), "compile-p50-s")
 		b.ReportMetric(r.ExecP50.Seconds(), "exec-p50-s")
 		if r.CompileP50 < time.Second || r.CompileP50 > 5*time.Minute {
@@ -249,6 +294,7 @@ func BenchmarkQueryProfile(b *testing.B) {
 			b.Fatalf("exec p50 %v outside the paper's profile", r.ExecP50)
 		}
 	}
+	meter.report(b)
 }
 
 // --- Ablations (A-1 .. A-5 in DESIGN.md) ---
@@ -258,6 +304,7 @@ func BenchmarkQueryProfile(b *testing.B) {
 // categories") as the best balance. The ladder variants come from the
 // scenario registry and all four servers run concurrently.
 func BenchmarkAblationMonitorCount(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		scenarios := []scenario.Scenario{
 			registered(b, "monitors-1"),
@@ -267,14 +314,17 @@ func BenchmarkAblationMonitorCount(b *testing.B) {
 		}
 		names := []string{"1", "2", "3", "5"}
 		for j, r := range mustSweep(b, scenarios...) {
+			meter.add(r)
 			b.ReportMetric(float64(r.Completed), "completions-"+names[j]+"mon")
 		}
 	}
+	meter.report(b)
 }
 
 // BenchmarkAblationDynamicThresholds compares §4.1's broker-driven
 // thresholds against static ones.
 func BenchmarkAblationDynamicThresholds(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		dynamic := benchScenario(35)
 		static := benchScenario(35)
@@ -285,18 +335,22 @@ func BenchmarkAblationDynamicThresholds(b *testing.B) {
 			c.DynamicThresholds = false
 		}
 		res := mustSweep(b, dynamic, static)
+		meter.add(res...)
 		b.ReportMetric(float64(res[0].Completed), "completions-dynamic")
 		b.ReportMetric(float64(res[0].Errors), "errors-dynamic")
 		b.ReportMetric(float64(res[1].Completed), "completions-static")
 		b.ReportMetric(float64(res[1].Errors), "errors-static")
 	}
+	meter.report(b)
 }
 
 // BenchmarkAblationBestEffortPlan compares §4.1's best-effort plans
 // against plain out-of-memory failures on a memory-starved machine.
 func BenchmarkAblationBestEffortPlan(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		res := mustSweep(b, registered(b, "best-effort"), registered(b, "best-effort-off"))
+		meter.add(res...)
 		for j, key := range []string{"on", "off"} {
 			r := res[j]
 			b.ReportMetric(float64(r.Completed), "completions-besteffort-"+key)
@@ -304,25 +358,32 @@ func BenchmarkAblationBestEffortPlan(b *testing.B) {
 			b.ReportMetric(float64(r.BestEffortPlans), "besteffort-plans-"+key)
 		}
 	}
+	meter.report(b)
 }
 
 // BenchmarkAblationBypass verifies the diagnostic-query property: small
 // queries proceed unblocked (zero gate acquisitions) even while the
 // system is saturated with large compilations.
 func BenchmarkAblationBypass(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		r := mustSweep(b, registered(b, "oltp-mix"))[0]
+		meter.add(r)
 		b.ReportMetric(float64(r.Completed), "mix-completions")
 		b.ReportMetric(float64(r.GatewayTimeouts), "gateway-timeouts")
 	}
+	meter.report(b)
 }
 
 // BenchmarkAblationBrokerOnly measures the broker's contribution without
 // compilation throttling (ablation A-5).
 func BenchmarkAblationBrokerOnly(b *testing.B) {
+	meter := startSimMeter(b)
 	for i := 0; i < b.N; i++ {
 		res := mustSweep(b, registered(b, "broker-only"), registered(b, "no-governance"))
+		meter.add(res...)
 		b.ReportMetric(float64(res[0].Completed), "completions-broker-on")
 		b.ReportMetric(float64(res[1].Completed), "completions-broker-off")
 	}
+	meter.report(b)
 }

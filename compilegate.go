@@ -73,10 +73,16 @@ type (
 	Tracker = mem.Tracker
 
 	// Scheduler is the deterministic virtual-time scheduler that hosts
-	// simulations.
+	// simulations: a single-goroutine event loop dispatching explicit
+	// continuations.
 	Scheduler = vtime.Scheduler
 	// Task is a cooperative thread of execution under a Scheduler.
 	Task = vtime.Task
+	// Step is a continuation — a task resume point the event loop
+	// dispatches; see Scheduler.GoStep for stackless tasks.
+	Step = vtime.Step
+	// StepFunc adapts a plain function to a Step.
+	StepFunc = vtime.StepFunc
 
 	// Server is the fully assembled simulated DBMS.
 	Server = engine.Server

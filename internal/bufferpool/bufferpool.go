@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"compilegate/internal/freelist"
 	"compilegate/internal/mem"
 	"compilegate/internal/storage"
 	"compilegate/internal/vtime"
@@ -71,6 +72,12 @@ type Pool struct {
 
 	hits, misses, evictions uint64
 	passthrough             uint64 // reads served without caching
+
+	// Recycled continuation ops and frames (one scheduler per pool, no
+	// locking).
+	reads     freelist.List[readManyOp]
+	delays    freelist.List[diskDelayOp]
+	frameFree freelist.List[frame]
 }
 
 // New creates a pool charging frames to tracker.
@@ -193,31 +200,86 @@ func (p *Pool) Read(t *vtime.Task, key storage.ExtentKey) bool {
 	return false
 }
 
+// readManyOp is the continuation state machine behind ReadMany: one
+// sleep covers all hits, then each miss claims a disk channel, pays the
+// (dilation-adjusted) transfer time, and is admitted to the cache.
+type readManyOp struct {
+	p     *Pool
+	miss  []storage.ExtentKey // scratch, retained across uses
+	mi    int
+	k     vtime.Step
+	state int8
+}
+
+const (
+	rmNextMiss int8 = iota // claim a disk channel for the next miss
+	rmTransfer             // channel held: pay the transfer time
+	rmAdmit                // transfer done: release and admit
+)
+
+func (op *readManyOp) Run(t *vtime.Task) {
+	p := op.p
+	for {
+		switch op.state {
+		case rmNextMiss:
+			if op.mi >= len(op.miss) {
+				k := op.k
+				op.k = nil
+				p.reads.Put(op)
+				k.Run(t)
+				return
+			}
+			op.state = rmTransfer
+			p.disk.AcquireThen(t, op)
+			return
+		case rmTransfer:
+			op.state = rmAdmit
+			t.SleepThen(p.diskLatency(), op)
+			return
+		case rmAdmit:
+			p.disk.Release()
+			p.admit(t, op.miss[op.mi])
+			op.mi++
+			op.state = rmNextMiss
+		}
+	}
+}
+
+// ReadManyThen fetches a batch of extents as continuation steps on the
+// event loop, then runs k. The hit count is stored through hits before
+// any virtual time passes; all hits are charged as one sleep and misses
+// go through the disk individually, exactly like ReadMany.
+func (p *Pool) ReadManyThen(t *vtime.Task, keys []storage.ExtentKey, hits *int, k vtime.Step) {
+	op := p.reads.Get()
+	if op == nil {
+		op = &readManyOp{p: p}
+	}
+	op.miss, op.mi, op.k, op.state = op.miss[:0], 0, k, rmNextMiss
+	h := 0
+	for _, key := range keys {
+		if f, ok := p.frames[key]; ok {
+			p.hits++
+			f.ref = true
+			h++
+		} else {
+			p.misses++
+			op.miss = append(op.miss, key)
+		}
+	}
+	*hits = h
+	if h > 0 {
+		t.SleepThen(time.Duration(h)*p.cfg.HitLatency, op)
+		return
+	}
+	op.Run(t)
+}
+
 // ReadMany fetches a batch of extents, amortizing scheduler events: all
 // hits are charged as one sleep, misses go through the disk individually.
 // It returns the number of hits.
 func (p *Pool) ReadMany(t *vtime.Task, keys []storage.ExtentKey) int {
-	hits := 0
-	var missKeys []storage.ExtentKey
-	for _, k := range keys {
-		if f, ok := p.frames[k]; ok {
-			p.hits++
-			f.ref = true
-			hits++
-		} else {
-			p.misses++
-			missKeys = append(missKeys, k)
-		}
-	}
-	if hits > 0 {
-		t.Sleep(time.Duration(hits) * p.cfg.HitLatency)
-	}
-	for _, k := range missKeys {
-		p.disk.Acquire(t)
-		t.Sleep(p.diskLatency())
-		p.disk.Release()
-		p.admit(t, k)
-	}
+	var hits int
+	t.Await(func(k vtime.Step) { p.ReadManyThen(t, keys, &hits, k) })
 	return hits
 }
 
@@ -242,7 +304,7 @@ func (p *Pool) admit(t *vtime.Task, key storage.ExtentKey) {
 		if v := p.victim(); v != nil {
 			p.drop(v)
 			// Reuse the freed reservation for the new frame.
-			f := &frame{key: key, ref: true}
+			f := p.newFrame(key)
 			p.frames[key] = f
 			p.clock = append(p.clock, f)
 			return
@@ -250,7 +312,7 @@ func (p *Pool) admit(t *vtime.Task, key storage.ExtentKey) {
 		p.passthrough++
 		return
 	}
-	f := &frame{key: key, ref: true}
+	f := p.newFrame(key)
 	p.frames[key] = f
 	p.clock = append(p.clock, f)
 }
@@ -279,7 +341,8 @@ func (p *Pool) victim() *frame {
 	return nil
 }
 
-// drop removes a frame from the pool structures (not the tracker).
+// drop removes a frame from the pool structures (not the tracker) and
+// recycles it.
 func (p *Pool) drop(f *frame) {
 	delete(p.frames, f.key)
 	for i, c := range p.clock {
@@ -292,30 +355,98 @@ func (p *Pool) drop(f *frame) {
 		}
 	}
 	p.evictions++
+	p.frameFree.Put(f)
+}
+
+// newFrame returns a recycled or fresh frame for key, referenced.
+func (p *Pool) newFrame(key storage.ExtentKey) *frame {
+	if f := p.frameFree.Get(); f != nil {
+		f.key, f.ref, f.pinned = key, true, 0
+		return f
+	}
+	return &frame{key: key, ref: true}
 }
 
 // ExtentBytes returns the frame size.
 func (p *Pool) ExtentBytes() int64 { return p.cfg.ExtentBytes }
 
+// diskDelayOp is the continuation state machine behind DiskDelay: claim
+// a disk channel for one extent-sized chunk at a time.
+type diskDelayOp struct {
+	p      *Pool
+	remain time.Duration
+	chunk  time.Duration
+	occupy time.Duration
+	k      vtime.Step
+	state  int8
+}
+
+const (
+	ddClaim int8 = iota // size the next chunk and claim a channel
+	ddHold              // channel held: occupy it
+	ddDone              // chunk done: release
+)
+
+func (op *diskDelayOp) Run(t *vtime.Task) {
+	p := op.p
+	for {
+		switch op.state {
+		case ddClaim:
+			chunk := p.cfg.DiskLatency
+			if chunk <= 0 || chunk > op.remain {
+				chunk = op.remain
+			}
+			occupy := chunk
+			if p.dilation != nil {
+				if f := p.dilation(); f > 1 {
+					occupy = time.Duration(float64(chunk) * f)
+				}
+			}
+			op.chunk, op.occupy = chunk, occupy
+			op.state = ddHold
+			p.disk.AcquireThen(t, op)
+			return
+		case ddHold:
+			op.state = ddDone
+			t.SleepThen(op.occupy, op)
+			return
+		case ddDone:
+			p.disk.Release()
+			op.remain -= op.chunk
+			if op.remain <= 0 {
+				k := op.k
+				op.k = nil
+				p.delays.Put(op)
+				k.Run(t)
+				return
+			}
+			op.state = ddClaim
+		}
+	}
+}
+
+// DiskDelayThen occupies a disk channel for d of virtual time as
+// continuation steps on the event loop, then runs k.
+func (p *Pool) DiskDelayThen(t *vtime.Task, d time.Duration, k vtime.Step) {
+	if d <= 0 {
+		k.Run(t)
+		return
+	}
+	op := p.delays.Get()
+	if op == nil {
+		op = &diskDelayOp{p: p}
+	}
+	op.remain, op.k, op.state = d, k, ddClaim
+	op.Run(t)
+}
+
 // DiskDelay occupies a disk channel for d of virtual time on behalf of t
 // (spill writes/reads and other raw I/O that bypasses the cache).
 func (p *Pool) DiskDelay(t *vtime.Task, d time.Duration) {
-	for d > 0 {
-		chunk := p.cfg.DiskLatency
-		if chunk <= 0 || chunk > d {
-			chunk = d
-		}
-		occupy := chunk
-		if p.dilation != nil {
-			if f := p.dilation(); f > 1 {
-				occupy = time.Duration(float64(chunk) * f)
-			}
-		}
-		p.disk.Acquire(t)
-		t.Sleep(occupy)
-		p.disk.Release()
-		d -= chunk
+	if d <= 0 {
+		return
 	}
+	t.Await(func(k vtime.Step) { p.DiskDelayThen(t, d, k) })
 }
 
 // Contains reports whether the extent is cached (for tests).

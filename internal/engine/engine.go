@@ -16,7 +16,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"time"
 
@@ -25,6 +24,7 @@ import (
 	"compilegate/internal/catalog"
 	"compilegate/internal/core"
 	"compilegate/internal/executor"
+	"compilegate/internal/freelist"
 	"compilegate/internal/gateway"
 	"compilegate/internal/mem"
 	"compilegate/internal/metrics"
@@ -162,6 +162,13 @@ type Server struct {
 	compileMemSum, compileMemMax int64
 	compileMemN                  int64
 
+	// Hot-path caches and free lists (one scheduler per server, no
+	// locking): statement-text identity memo, pooled execution-locality
+	// sources, recycled compile-work continuation ops.
+	queryMemo map[string]queryInfo
+	rngs      freelist.List[rand.Rand]
+	workOps   freelist.List[compileWorkOp]
+
 	closed bool
 }
 
@@ -231,6 +238,8 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		execTrace:          metrics.NewTrace("exec"),
 		activeCompileTrace: metrics.NewTrace("active-compiles"),
 		overcommitTrace:    metrics.NewTrace("overcommit-permille"),
+
+		queryMemo: make(map[string]queryInfo),
 	}
 	if cfg.Pressure.Enabled {
 		s.budget.SetPressure(cfg.Pressure)
@@ -351,37 +360,55 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		s.vasBrk.Register("exec", cfg.WeightExec, 0, execTracker.Used, nil)
 	}
 
-	sched.Go("housekeeping", s.housekeeping)
+	sched.GoStep("housekeeping", &housekeeper{s: s})
 	return s, nil
 }
 
-// housekeeping ticks the broker and prods the grant queue until Close.
-func (s *Server) housekeeping(t *vtime.Task) {
-	for !s.closed {
-		t.Sleep(s.cfg.BrokerInterval)
-		if s.brk != nil {
-			s.brk.Tick(t.Now())
-		}
-		if s.vasBrk != nil && s.vasBrk != s.brk {
-			s.vasBrk.Tick(t.Now())
-		}
-		// Memory freed by finished compilations doesn't signal the grant
-		// queue on its own; give waiting grants a chance to retry.
-		s.exec.Grants().Kick()
-		// Page steal: with wired memory past the paging threshold the
-		// pager takes buffer-pool frames each tick, trading cache hit
-		// rate for swap room — the visible half of thrashing.
-		if s.cfg.Pressure.Enabled && s.cfg.Pressure.StealFrac > 0 {
-			if over := s.budget.WiredOverBytes(); over > 0 {
-				s.pool.StealPages(int64(s.cfg.Pressure.StealFrac * float64(over)))
-			}
-		}
-		s.poolTrace.Add(t.Now(), s.pool.Bytes())
-		s.compileTrace.Add(t.Now(), s.gov.Tracker().Used())
-		s.execTrace.Add(t.Now(), s.exec.Grants().Tracker().Used())
-		s.activeCompileTrace.Add(t.Now(), int64(s.gov.Active()))
-		s.overcommitTrace.Add(t.Now(), int64(s.budget.OvercommitRatio()*1000))
+// housekeeper is the continuation-task state machine that ticks the
+// broker and prods the grant queue until Close: sleep one broker
+// interval, run the tick body, re-check closed, repeat. It runs entirely
+// on the event loop — no goroutine, no stack.
+type housekeeper struct {
+	s        *Server
+	sleeping bool
+}
+
+func (h *housekeeper) Run(t *vtime.Task) {
+	if h.sleeping {
+		h.sleeping = false
+		h.s.housekeepingTick(t)
 	}
+	if h.s.closed {
+		return // no resume point armed: the task exits
+	}
+	h.sleeping = true
+	t.SleepThen(h.s.cfg.BrokerInterval, h)
+}
+
+// housekeepingTick is one broker-interval tick.
+func (s *Server) housekeepingTick(t *vtime.Task) {
+	if s.brk != nil {
+		s.brk.Tick(t.Now())
+	}
+	if s.vasBrk != nil && s.vasBrk != s.brk {
+		s.vasBrk.Tick(t.Now())
+	}
+	// Memory freed by finished compilations doesn't signal the grant
+	// queue on its own; give waiting grants a chance to retry.
+	s.exec.Grants().Kick()
+	// Page steal: with wired memory past the paging threshold the
+	// pager takes buffer-pool frames each tick, trading cache hit
+	// rate for swap room — the visible half of thrashing.
+	if s.cfg.Pressure.Enabled && s.cfg.Pressure.StealFrac > 0 {
+		if over := s.budget.WiredOverBytes(); over > 0 {
+			s.pool.StealPages(int64(s.cfg.Pressure.StealFrac * float64(over)))
+		}
+	}
+	s.poolTrace.Add(t.Now(), s.pool.Bytes())
+	s.compileTrace.Add(t.Now(), s.gov.Tracker().Used())
+	s.execTrace.Add(t.Now(), s.exec.Grants().Tracker().Used())
+	s.activeCompileTrace.Add(t.Now(), int64(s.gov.Active()))
+	s.overcommitTrace.Add(t.Now(), int64(s.budget.OvercommitRatio()*1000))
 }
 
 // Close stops the housekeeping task after in-flight work finishes. The
@@ -412,34 +439,85 @@ func classify(err error) string {
 	}
 }
 
+// queryInfo caches the derived identity of one statement text: its
+// plan-cache fingerprint and the execution-locality seed. Both are pure
+// functions of the text, so repeated workload SQL skips re-parsing and
+// re-hashing entirely when the plan cache holds its plan.
+type queryInfo struct {
+	fp   string
+	seed int64
+}
+
+// queryMemoCap bounds the statement-text memo; the SALES workload
+// uniquifies every query, so without a cap an 8-hour run would retain
+// every statement ever submitted. Eviction is wholesale: the memo is a
+// pure cache, so clearing it only costs re-derivation.
+const queryMemoCap = 8192
+
+// getRNG returns a pooled execution-locality source reseeded in place —
+// reseeding reproduces exactly the stream rand.New(rand.NewSource(seed))
+// would, without the per-query allocation.
+func (s *Server) getRNG(seed int64) *rand.Rand {
+	if r := s.rngs.Get(); r != nil {
+		r.Seed(seed)
+		return r
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+func (s *Server) putRNG(r *rand.Rand) {
+	s.rngs.Put(r)
+}
+
 // Submit runs one query end to end on behalf of the calling task. The
 // returned error (if any) has already been recorded in the metrics.
 func (s *Server) Submit(t *vtime.Task, sql string) error {
-	q, err := sqlparser.Parse(sql)
-	if err != nil {
-		s.rec.RecordError(t.Now(), ErrKindOther)
-		return err
+	info, seen := s.queryMemo[sql]
+	var q *plan.Query
+	if !seen {
+		var err error
+		q, err = sqlparser.Parse(sql)
+		if err != nil {
+			s.rec.RecordError(t.Now(), ErrKindOther)
+			return err
+		}
+		// Execution locality is seeded from the full fingerprint so
+		// repeated statements overlap on hot regions while distinct
+		// queries get independent locality (length + first byte collide
+		// far too often). Only successfully parsed text enters the memo,
+		// so malformed SQL keeps its parse-first error behaviour.
+		info.fp = sqlparser.Fingerprint(sql)
+		info.seed = int64(sqlparser.Hash64(info.fp))
+		if len(s.queryMemo) >= queryMemoCap {
+			clear(s.queryMemo)
+		}
+		s.queryMemo[sql] = info
 	}
-	fp := sqlparser.Fingerprint(sql)
 
-	p, cached := s.cache.Get(fp)
+	p, cached := s.cache.Get(info.fp)
 	if !cached {
+		if q == nil {
+			var err error
+			q, err = sqlparser.Parse(sql)
+			if err != nil {
+				s.rec.RecordError(t.Now(), ErrKindOther)
+				return err
+			}
+		}
+		var err error
 		p, err = s.compile(t, q)
 		if err != nil {
 			s.rec.RecordError(t.Now(), classify(err))
 			return err
 		}
-		s.cache.Put(fp, p, t.Now())
+		s.cache.Put(info.fp, p, t.Now())
 	}
 
-	// Execution: seed scan locality from the full fingerprint so repeated
-	// statements overlap on hot regions while distinct queries get
-	// independent locality (length + first byte collide far too often).
-	h := fnv.New64a()
-	h.Write([]byte(fp))
-	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng := s.getRNG(info.seed)
 	execStart := t.Now()
-	if _, err := s.exec.Execute(t, p, rng); err != nil {
+	_, err := s.exec.Execute(t, p, rng)
+	s.putRNG(rng)
+	if err != nil {
 		s.rec.RecordError(t.Now(), classify(err))
 		return err
 	}
@@ -448,25 +526,72 @@ func (s *Server) Submit(t *vtime.Task, sql string) error {
 	return nil
 }
 
+// compileWorkOp is the continuation op behind one optimizer Work batch:
+// burn the batch's CPU on the processor pool, then pay the non-CPU wait
+// (metadata fetches, latching). Both phases run as event-loop steps, so
+// a compilation's many work batches each cost a single coroutine round
+// trip instead of one per CPU quantum.
+type compileWorkOp struct {
+	s     *Server
+	cpu   time.Duration
+	tasks int
+	k     vtime.Step
+	state int8
+}
+
+func (op *compileWorkOp) Run(t *vtime.Task) {
+	s := op.s
+	switch op.state {
+	case 0:
+		op.state = 1
+		s.cpu.UseThen(t, op.cpu, op)
+	case 1:
+		if s.cfg.CompileTaskWait > 0 {
+			// Metadata fetches and latching stretch with the paging
+			// slowdown too: a thrashing machine faults on catalog
+			// pages like everything else. The slowdown is read after
+			// the CPU phase, when the wait actually starts.
+			wait := time.Duration(op.tasks) * s.cfg.CompileTaskWait
+			if f := s.budget.Slowdown(); f > 1 {
+				wait = time.Duration(float64(wait) * f)
+			}
+			op.state = 2
+			t.SleepThen(wait, op)
+			return
+		}
+		op.finish(t)
+	case 2:
+		op.finish(t)
+	}
+}
+
+func (op *compileWorkOp) finish(t *vtime.Task) {
+	k := op.k
+	op.k = nil
+	op.s.workOps.Put(op)
+	k.Run(t)
+}
+
+// compileWork charges one optimizer work batch on behalf of t.
+func (s *Server) compileWork(t *vtime.Task, tasks int) {
+	t.Await(func(k vtime.Step) {
+		op := s.workOps.Get()
+		if op == nil {
+			op = &compileWorkOp{s: s}
+		}
+		op.cpu = time.Duration(tasks) * s.cfg.CompileTaskCPU
+		op.tasks, op.k, op.state = tasks, k, 0
+		op.Run(t)
+	})
+}
+
 // compile optimizes q under the governor.
 func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 	comp := s.gov.Begin(t, "compile")
 	start := t.Now()
 	p, err := s.opt.Optimize(q, optimizer.Hooks{
-		Charge: comp.Alloc,
-		Work: func(tasks int) {
-			s.cpu.Use(t, time.Duration(tasks)*s.cfg.CompileTaskCPU)
-			if s.cfg.CompileTaskWait > 0 {
-				// Metadata fetches and latching stretch with the paging
-				// slowdown too: a thrashing machine faults on catalog
-				// pages like everything else.
-				wait := time.Duration(tasks) * s.cfg.CompileTaskWait
-				if f := s.budget.Slowdown(); f > 1 {
-					wait = time.Duration(float64(wait) * f)
-				}
-				t.Sleep(wait)
-			}
-		},
+		Charge:     comp.Alloc,
+		Work:       func(tasks int) { s.compileWork(t, tasks) },
 		BestEffort: comp.ShouldYieldBestEffort,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"compilegate/internal/bufferpool"
+	"compilegate/internal/freelist"
 	"compilegate/internal/mem"
 	"compilegate/internal/plan"
 	"compilegate/internal/storage"
@@ -39,6 +40,8 @@ type GrantManager struct {
 	granted, timeouts uint64
 	reductions        uint64
 	waitTotal         time.Duration
+
+	ops freelist.List[grantOp] // recycled continuation ops (single scheduler)
 }
 
 // NewGrantManager creates a grant manager. tracker should carry a limit
@@ -72,20 +75,93 @@ func (gm *GrantManager) TotalWait() time.Duration { return gm.waitTotal }
 // Acquire reserves bytes of execution memory for task t, queueing FIFO
 // behind earlier requests when memory is unavailable.
 func (gm *GrantManager) Acquire(t *vtime.Task, bytes int64) error {
-	got, err := gm.AcquireReduced(t, bytes, 1.0)
-	_ = got
+	_, err := gm.AcquireReduced(t, bytes, 1.0)
 	return err
 }
 
-// AcquireReduced reserves execution memory, accepting a reduced grant
-// under pressure: the request asks for want bytes but, once half the
-// timeout has elapsed, settles for progressively less — never below
-// want*minFrac. It returns the bytes actually granted. This models the
-// engine's grant-reduction path (§3: execution "can potentially respond
-// to memory pressure"); the executor pays for the shortfall by spilling.
-func (gm *GrantManager) AcquireReduced(t *vtime.Task, want int64, minFrac float64) (int64, error) {
+// grantOp is the continuation state machine behind AcquireReduced: wait
+// FIFO with timeout, halving the ask past the halfway point, retrying
+// the reservation on every wake.
+type grantOp struct {
+	gm               *GrantManager
+	want, ask, floor int64
+	start            time.Duration
+	deadline, half   time.Duration
+	granted          *int64
+	errp             *error
+	k                vtime.Step
+	state            int8
+}
+
+const (
+	gwWait int8 = iota // queue (or time out) for another retry
+	gwWoke             // signaled or timed out: retry the reservation
+)
+
+func (op *grantOp) Run(t *vtime.Task) {
+	gm := op.gm
+	for {
+		switch op.state {
+		case gwWait:
+			remain := op.deadline - t.Now()
+			if remain <= 0 {
+				op.fail(t)
+				return
+			}
+			op.state = gwWoke
+			gm.queue.WaitTimeoutThen(t, remain, op)
+			return
+		case gwWoke:
+			if t.TimedOut() {
+				op.fail(t)
+				return
+			}
+			// Past the halfway point, halve the ask (not below the floor).
+			if t.Now() >= op.half && op.ask > op.floor {
+				op.ask /= 2
+				if op.ask < op.floor {
+					op.ask = op.floor
+				}
+				gm.reductions++
+			}
+			if err := gm.tracker.Reserve(op.ask); err == nil {
+				gm.granted++
+				gm.waitTotal += t.Now() - op.start
+				// Let the next waiter retry too: memory may remain.
+				gm.queue.Signal()
+				op.finish(t, op.ask, nil)
+				return
+			}
+			op.state = gwWait
+		}
+	}
+}
+
+func (op *grantOp) fail(t *vtime.Task) {
+	gm := op.gm
+	gm.timeouts++
+	gm.waitTotal += t.Now() - op.start
+	op.finish(t, 0, &ErrGrantTimeout{Bytes: op.want, Wait: t.Now() - op.start})
+}
+
+func (op *grantOp) finish(t *vtime.Task, granted int64, err error) {
+	*op.granted = granted
+	*op.errp = err
+	k := op.k
+	op.k, op.granted, op.errp = nil, nil, nil
+	op.gm.ops.Put(op)
+	k.Run(t)
+}
+
+// AcquireReducedThen reserves execution memory as continuation steps,
+// then runs k with the outcome stored through granted and errp. See
+// AcquireReduced for the reduction semantics.
+func (gm *GrantManager) AcquireReducedThen(t *vtime.Task, want int64, minFrac float64, granted *int64, errp *error, k vtime.Step) {
+	*errp = nil
 	if want <= 0 {
-		return 0, nil
+		*granted = 0
+		k.Run(t)
+		return
 	}
 	if minFrac <= 0 || minFrac > 1 {
 		minFrac = 1
@@ -95,40 +171,39 @@ func (gm *GrantManager) AcquireReduced(t *vtime.Task, want int64, minFrac float6
 		floor = 1
 	}
 	start := t.Now()
-	deadline := start + gm.timeout
-	half := start + gm.timeout/2
-	ask := want
 	// FIFO: newcomers queue behind existing waiters even if their (small)
 	// request would fit, preventing starvation of big grants.
 	if gm.queue.Len() == 0 {
-		if err := gm.tracker.Reserve(ask); err == nil {
+		if err := gm.tracker.Reserve(want); err == nil {
 			gm.granted++
-			return ask, nil
+			*granted = want
+			k.Run(t)
+			return
 		}
 	}
-	for {
-		remain := deadline - t.Now()
-		if remain <= 0 || !gm.queue.WaitTimeout(t, remain) {
-			gm.timeouts++
-			gm.waitTotal += t.Now() - start
-			return 0, &ErrGrantTimeout{Bytes: want, Wait: t.Now() - start}
-		}
-		// Past the halfway point, halve the ask (not below the floor).
-		if t.Now() >= half && ask > floor {
-			ask /= 2
-			if ask < floor {
-				ask = floor
-			}
-			gm.reductions++
-		}
-		if err := gm.tracker.Reserve(ask); err == nil {
-			gm.granted++
-			gm.waitTotal += t.Now() - start
-			// Let the next waiter retry too: memory may remain.
-			gm.queue.Signal()
-			return ask, nil
-		}
+	op := gm.ops.Get()
+	if op == nil {
+		op = &grantOp{gm: gm}
 	}
+	op.want, op.ask, op.floor = want, want, floor
+	op.start, op.deadline, op.half = start, start+gm.timeout, start+gm.timeout/2
+	op.granted, op.errp, op.k, op.state = granted, errp, k, gwWait
+	op.Run(t)
+}
+
+// AcquireReduced reserves execution memory, accepting a reduced grant
+// under pressure: the request asks for want bytes but, once half the
+// timeout has elapsed, settles for progressively less — never below
+// want*minFrac. It returns the bytes actually granted. This models the
+// engine's grant-reduction path (§3: execution "can potentially respond
+// to memory pressure"); the executor pays for the shortfall by spilling.
+func (gm *GrantManager) AcquireReduced(t *vtime.Task, want int64, minFrac float64) (int64, error) {
+	var granted int64
+	var err error
+	t.Await(func(k vtime.Step) {
+		gm.AcquireReducedThen(t, want, minFrac, &granted, &err, k)
+	})
+	return granted, err
 }
 
 // Release returns a grant and wakes the longest waiter to retry.
@@ -226,6 +301,8 @@ type Executor struct {
 
 	executed       uint64
 	pageStallTotal time.Duration
+
+	execs freelist.List[execOp] // recycled continuation ops (single scheduler)
 }
 
 // New creates an executor.
@@ -251,98 +328,207 @@ func (e *Executor) PageStallTotal() time.Duration { return e.pageStallTotal }
 // Grants exposes the grant manager.
 func (e *Executor) Grants() *GrantManager { return e.grants }
 
-// Execute runs plan p on behalf of task t. rng drives scan locality (seed
+// execOp is the continuation state machine behind Execute: acquire the
+// grant, run the plan's nodes (children first — build before probe,
+// matching hash-join scheduling; the tree is flattened into exactly the
+// old recursion's visit order), pay spill and refault I/O, release.
+// Scan-key and node scratch buffers are retained across uses.
+type execOp struct {
+	e    *Executor
+	p    *plan.Plan
+	rng  *rand.Rand
+	st   *Stats
+	errp *error
+	k    vtime.Step
+
+	start     time.Duration
+	want      int64
+	granted   int64
+	nodes     []*plan.Node
+	ni        int
+	keys      []storage.ExtentKey
+	bi, bj    int
+	batchHits int
+	state     int8
+}
+
+const (
+	exGranted   int8 = iota // grant outcome known
+	exNode                  // run the next node
+	exBatch                 // issue the next read batch of the current scan
+	exBatchDone             // account a finished read batch
+	exNodeCPU               // current node's CPU charge finished
+	exSpill                 // pay spill I/O for a reduced grant
+	exRefault               // pay workspace refault I/O under thrash
+	exFinish                // account and release
+)
+
+func (op *execOp) Run(t *vtime.Task) {
+	e := op.e
+	st := op.st
+	for {
+		switch op.state {
+		case exGranted:
+			if *op.errp != nil {
+				// No grant was taken; nothing to release.
+				op.finish(t)
+				return
+			}
+			st.GrantBytes = op.granted
+			st.SpillBytes = op.want - op.granted
+			op.nodes = appendPostorder(op.nodes[:0], op.p.Root)
+			op.ni = 0
+			op.state = exNode
+		case exNode:
+			if op.ni >= len(op.nodes) {
+				op.state = exSpill
+				continue
+			}
+			n := op.nodes[op.ni]
+			switch n.Op {
+			case plan.OpSeqScan, plan.OpIndexScan:
+				op.keys = e.layout.ScanExtentsInto(op.keys[:0], n.Table, n.ScanFraction, e.cfg.Pattern, op.rng)
+				op.bi = 0
+				op.state = exBatch
+			case plan.OpHashJoin:
+				build := n.Right.OutCard
+				probe := n.Left.OutCard
+				units := build*e.cost.BuildRow + probe*e.cost.CPURow + n.OutCard*e.cost.CPURow
+				if op.useCPU(t, units) {
+					return
+				}
+			case plan.OpHashAgg:
+				// The optimizer's agg cost is pure CPU.
+				if op.useCPU(t, n.NodeCost) {
+					return
+				}
+			default:
+				op.ni++
+			}
+		case exBatch:
+			if op.bi >= len(op.keys) {
+				st.ExtentsRead += len(op.keys)
+				n := op.nodes[op.ni]
+				tb := e.layout.Catalog().Table(n.Table)
+				visited := float64(tb.Rows)
+				if n.Op == plan.OpIndexScan {
+					visited *= n.ScanFraction
+				}
+				if op.useCPU(t, visited*e.cost.CPURow) {
+					return
+				}
+				continue
+			}
+			j := op.bi + e.cfg.ReadBatch
+			if j > len(op.keys) {
+				j = len(op.keys)
+			}
+			op.bj = j
+			op.state = exBatchDone
+			e.pool.ReadManyThen(t, op.keys[op.bi:j], &op.batchHits, op)
+			return
+		case exBatchDone:
+			st.Hits += op.batchHits
+			op.bi = op.bj
+			op.state = exBatch
+		case exNodeCPU:
+			op.ni++
+			op.state = exNode
+		case exSpill:
+			op.state = exRefault
+			// A reduced grant spills hash partitions: pay write + re-read
+			// time on the disk channels, proportional to the shortfall.
+			if st.SpillBytes > 0 && e.cfg.SpillExtentTime > 0 {
+				extents := (st.SpillBytes + e.pool.ExtentBytes() - 1) / e.pool.ExtentBytes()
+				e.pool.DiskDelayThen(t, time.Duration(extents)*e.cfg.SpillExtentTime, op)
+				return
+			}
+		case exRefault:
+			op.state = exFinish
+			// On a thrashing machine part of the granted workspace was
+			// paged out mid-run and must fault back in: (slowdown-1) extra
+			// transfers per workspace extent, against the same disk
+			// channels.
+			if e.pressure != nil && op.granted > 0 && e.cfg.RefaultExtentTime > 0 {
+				if f := e.pressure(); f > 1 {
+					extents := (op.granted + e.pool.ExtentBytes() - 1) / e.pool.ExtentBytes()
+					stall := time.Duration((f - 1) * float64(extents) * float64(e.cfg.RefaultExtentTime))
+					st.PageStallTime = stall
+					e.pageStallTotal += stall
+					e.pool.DiskDelayThen(t, stall, op)
+					return
+				}
+			}
+		case exFinish:
+			e.executed++
+			st.Elapsed = t.Now() - op.start
+			e.grants.Release(op.granted)
+			op.finish(t)
+			return
+		}
+	}
+}
+
+// useCPU charges the node's CPU units; it reports whether the op parked
+// (true = return from Run, resume at exNodeCPU).
+func (op *execOp) useCPU(t *vtime.Task, units float64) bool {
+	d := time.Duration(units * float64(op.e.cfg.CostUnitCPU))
+	if d <= 0 {
+		op.ni++
+		op.state = exNode
+		return false
+	}
+	op.st.CPUTime += d
+	op.state = exNodeCPU
+	op.e.cpu.UseThen(t, d, op)
+	return true
+}
+
+func (op *execOp) finish(t *vtime.Task) {
+	k := op.k
+	op.k, op.p, op.rng, op.st, op.errp = nil, nil, nil, nil, nil
+	op.e.execs.Put(op)
+	k.Run(t)
+}
+
+// appendPostorder flattens the plan tree into the execution order the
+// recursive walk used: right subtree (build side), left subtree (probe
+// side), then the node itself.
+func appendPostorder(nodes []*plan.Node, n *plan.Node) []*plan.Node {
+	if n == nil {
+		return nodes
+	}
+	nodes = appendPostorder(nodes, n.Right)
+	nodes = appendPostorder(nodes, n.Left)
+	return append(nodes, n)
+}
+
+// ExecuteThen runs plan p as continuation steps on the event loop, then
+// runs k with the outcome in st and errp. rng drives scan locality (seed
 // it per query for deterministic-but-varied access patterns).
-func (e *Executor) Execute(t *vtime.Task, p *plan.Plan, rng *rand.Rand) (Stats, error) {
-	start := t.Now()
-	var st Stats
-	want := p.MemoryGrant()
+func (e *Executor) ExecuteThen(t *vtime.Task, p *plan.Plan, rng *rand.Rand, st *Stats, errp *error, k vtime.Step) {
+	op := e.execs.Get()
+	if op == nil {
+		op = &execOp{e: e}
+	}
+	*st = Stats{}
+	*errp = nil
+	op.p, op.rng, op.st, op.errp, op.k = p, rng, st, errp, k
+	op.start = t.Now()
+	op.want = p.MemoryGrant()
 	minFrac := e.cfg.MinGrantFrac
 	if minFrac <= 0 {
 		minFrac = 1
 	}
-	granted, err := e.grants.AcquireReduced(t, want, minFrac)
-	if err != nil {
-		return st, err
-	}
-	st.GrantBytes = granted
-	st.SpillBytes = want - granted
-	defer e.grants.Release(granted)
-
-	if err := e.runNode(t, p.Root, rng, &st); err != nil {
-		return st, err
-	}
-	// A reduced grant spills hash partitions: pay write + re-read time on
-	// the disk channels, proportional to the shortfall.
-	if st.SpillBytes > 0 && e.cfg.SpillExtentTime > 0 {
-		extents := (st.SpillBytes + e.pool.ExtentBytes() - 1) / e.pool.ExtentBytes()
-		e.pool.DiskDelay(t, time.Duration(extents)*e.cfg.SpillExtentTime)
-	}
-	// On a thrashing machine part of the granted workspace was paged out
-	// mid-run and must fault back in: (slowdown-1) extra transfers per
-	// workspace extent, against the same disk channels.
-	if e.pressure != nil && granted > 0 && e.cfg.RefaultExtentTime > 0 {
-		if f := e.pressure(); f > 1 {
-			extents := (granted + e.pool.ExtentBytes() - 1) / e.pool.ExtentBytes()
-			stall := time.Duration((f - 1) * float64(extents) * float64(e.cfg.RefaultExtentTime))
-			st.PageStallTime = stall
-			e.pageStallTotal += stall
-			e.pool.DiskDelay(t, stall)
-		}
-	}
-	e.executed++
-	st.Elapsed = t.Now() - start
-	return st, nil
+	op.state = exGranted
+	e.grants.AcquireReducedThen(t, op.want, minFrac, &op.granted, op.errp, op)
 }
 
-// runNode executes the subtree rooted at n (children first — build before
-// probe, matching hash-join scheduling).
-func (e *Executor) runNode(t *vtime.Task, n *plan.Node, rng *rand.Rand, st *Stats) error {
-	if n == nil {
-		return nil
-	}
-	// Hash joins consume the build side (right) before probing (left).
-	if err := e.runNode(t, n.Right, rng, st); err != nil {
-		return err
-	}
-	if err := e.runNode(t, n.Left, rng, st); err != nil {
-		return err
-	}
-
-	switch n.Op {
-	case plan.OpSeqScan, plan.OpIndexScan:
-		keys := e.layout.ScanExtents(n.Table, n.ScanFraction, e.cfg.Pattern, rng)
-		for i := 0; i < len(keys); i += e.cfg.ReadBatch {
-			j := i + e.cfg.ReadBatch
-			if j > len(keys) {
-				j = len(keys)
-			}
-			st.Hits += e.pool.ReadMany(t, keys[i:j])
-		}
-		st.ExtentsRead += len(keys)
-		tb := e.layout.Catalog().Table(n.Table)
-		visited := float64(tb.Rows)
-		if n.Op == plan.OpIndexScan {
-			visited *= n.ScanFraction
-		}
-		e.useCPU(t, visited*e.cost.CPURow, st)
-	case plan.OpHashJoin:
-		build := n.Right.OutCard
-		probe := n.Left.OutCard
-		units := build*e.cost.BuildRow + probe*e.cost.CPURow + n.OutCard*e.cost.CPURow
-		e.useCPU(t, units, st)
-	case plan.OpHashAgg:
-		units := n.NodeCost // the optimizer's agg cost is pure CPU
-		e.useCPU(t, units, st)
-	}
-	return nil
-}
-
-func (e *Executor) useCPU(t *vtime.Task, units float64, st *Stats) {
-	d := time.Duration(units * float64(e.cfg.CostUnitCPU))
-	if d <= 0 {
-		return
-	}
-	st.CPUTime += d
-	e.cpu.Use(t, d)
+// Execute runs plan p on behalf of task t. rng drives scan locality (seed
+// it per query for deterministic-but-varied access patterns).
+func (e *Executor) Execute(t *vtime.Task, p *plan.Plan, rng *rand.Rand) (Stats, error) {
+	var st Stats
+	var err error
+	t.Await(func(k vtime.Step) { e.ExecuteThen(t, p, rng, &st, &err, k) })
+	return st, err
 }

@@ -1,0 +1,29 @@
+// Package freelist provides the tiny LIFO free list the simulator's
+// pooled continuation ops, frames, and cache entries share. Each owner
+// is confined to one scheduler, so there is no locking; Get returns nil
+// when empty and the caller constructs a fresh value (and always
+// re-initializes every field, recycled or not).
+package freelist
+
+// List is a LIFO free list of *T.
+type List[T any] struct {
+	free []*T
+}
+
+// Get pops a recycled value, or returns nil when the list is empty.
+// The caller must treat a non-nil result as holding stale fields.
+func (l *List[T]) Get() *T {
+	n := len(l.free)
+	if n == 0 {
+		return nil
+	}
+	x := l.free[n-1]
+	l.free[n-1] = nil
+	l.free = l.free[:n-1]
+	return x
+}
+
+// Put recycles x.
+func (l *List[T]) Put(x *T) {
+	l.free = append(l.free, x)
+}

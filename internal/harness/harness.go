@@ -86,6 +86,9 @@ type Result struct {
 	AvgOvercommitRatio float64
 	// PageStealBytes is buffer-pool memory the pager stole over the run.
 	PageStealBytes int64
+	// SimEvents is how many scheduler events the run dispatched — the
+	// numerator of the simulator's own sim-events/sec throughput metric.
+	SimEvents uint64
 	// Report is the engine's diagnostic dump.
 	Report string
 }
@@ -184,6 +187,7 @@ func Run(o Options) (*Result, error) {
 		BestEffortPlans:   srv.Governor().BestEffortCount(),
 		CompileP50:        srv.CompileTimes().Quantile(0.5),
 		ExecP50:           srv.ExecTimes().Quantile(0.5),
+		SimEvents:         sched.Events(),
 		Report:            srv.Report(),
 	}
 	poolTr, compTr, execTr, activeTr := srv.Traces()

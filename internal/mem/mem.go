@@ -65,6 +65,13 @@ type Budget struct {
 	wired       int64
 	wiredPeak   int64
 
+	// Slowdown is recomputed only when wired memory moves: the engine
+	// reads it on every CPU quantum and disk transfer, but it is a pure
+	// function of wired. slowWired is the wired value the cache was
+	// computed at (-1 = invalid).
+	slowWired int64
+	slowVal   float64
+
 	trackers   []*Tracker
 	reclaimers []reclaimerEntry
 
@@ -82,7 +89,7 @@ func NewBudget(total int64) *Budget {
 	if total <= 0 {
 		panic("mem: non-positive budget")
 	}
-	return &Budget{total: total}
+	return &Budget{total: total, slowWired: -1}
 }
 
 // Total returns the budget's size in bytes.

@@ -93,6 +93,7 @@ func (m PressureModel) Slowdown(ratio float64) float64 {
 func (b *Budget) SetPressure(m PressureModel) {
 	b.pressure = m
 	b.commitLimit = m.commitLimit(b.total)
+	b.slowWired = -1
 }
 
 // Pressure returns the installed pressure model (zero value when unset).
@@ -129,9 +130,15 @@ func (b *Budget) OvercommitRatio() float64 {
 
 // Slowdown returns the current paging slowdown factor (1 when the
 // machine is healthy). Deterministic: it depends only on reservation
-// state, never on wall-clock.
+// state, never on wall-clock — which also makes it cacheable per wired
+// level, since the engine reads it on every quantum.
 func (b *Budget) Slowdown() float64 {
-	return b.pressure.Slowdown(b.OvercommitRatio())
+	if b.wired == b.slowWired {
+		return b.slowVal
+	}
+	v := b.pressure.Slowdown(b.OvercommitRatio())
+	b.slowWired, b.slowVal = b.wired, v
+	return v
 }
 
 // WiredOverBytes returns how far wired memory currently exceeds the

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"compilegate/internal/catalog"
+	"compilegate/internal/u64hash"
 )
 
 // GroupID indexes a group within a memo.
@@ -76,37 +77,104 @@ func DefaultConfig() Config {
 	}
 }
 
-// Memo is the search-space store.
+// Memo is the search-space store. Groups and expressions are allocated
+// from chunked arenas (pointer-stable, reusable via Reset) so a pooled
+// memo compiles thousands of statements without churning the garbage
+// collector — the per-alternative allocation cost the paper's premise
+// turns into the dominant hot-path cost.
 type Memo struct {
 	cfg    Config
 	charge ChargeFunc
 
 	groups []*Group
-	bySet  map[uint64]GroupID
-	// exprKeys dedups join expressions group-wide: (set, l, r).
-	exprKeys map[exprKey]struct{}
+	bySet  u64hash.MapI32
+	// exprKeys dedups join expressions group-wide. The (l, r) child pair
+	// alone determines the expression (its set is l.Set|r.Set), so the
+	// key packs both group IDs into one word; the set is open-addressing
+	// (keys are never zero: overlapping sides are rejected first).
+	exprKeys u64hash.Set
+
+	// Arena chunks; each chunk is sliced to its used length and retains
+	// capacity across Reset.
+	gchunks [][]Group
+	gcur    int
+	echunks [][]Expr
+	ecur    int
 
 	bytes      int64
 	exprCount  int
 	groupCount int
 }
 
-type exprKey struct {
-	set  uint64
-	l, r GroupID
-}
+const (
+	groupChunkSize = 64
+	exprChunkSize  = 256
+)
 
 // New creates an empty memo. charge may be nil (no accounting), which the
 // tests use.
 func New(cfg Config, charge ChargeFunc) *Memo {
+	m := &Memo{}
+	m.Reset(cfg, charge)
+	return m
+}
+
+// Reset empties the memo for reuse, retaining arena chunks, map buckets,
+// and per-group expression-list capacity. The optimizer pools memos
+// across compilations through this.
+func (m *Memo) Reset(cfg Config, charge ChargeFunc) {
 	if charge == nil {
 		charge = func(int64) error { return nil }
 	}
-	return &Memo{
-		cfg:      cfg,
-		charge:   charge,
-		bySet:    make(map[uint64]GroupID),
-		exprKeys: make(map[exprKey]struct{}),
+	m.cfg = cfg
+	m.charge = charge
+	m.groups = m.groups[:0]
+	m.bySet.Reset()
+	m.exprKeys.Reset()
+	for i := range m.gchunks {
+		m.gchunks[i] = m.gchunks[i][:0]
+	}
+	for i := range m.echunks {
+		m.echunks[i] = m.echunks[i][:0]
+	}
+	m.gcur, m.ecur = 0, 0
+	m.bytes = 0
+	m.exprCount = 0
+	m.groupCount = 0
+}
+
+// allocGroup carves a pointer-stable Group slot out of the arena. The
+// slot's fields are stale when reused; the caller initializes them all.
+func (m *Memo) allocGroup() *Group {
+	for {
+		if m.gcur == len(m.gchunks) {
+			m.gchunks = append(m.gchunks, make([]Group, 0, groupChunkSize))
+		}
+		c := m.gchunks[m.gcur]
+		if len(c) == cap(c) {
+			m.gcur++
+			continue
+		}
+		c = c[:len(c)+1]
+		m.gchunks[m.gcur] = c
+		return &c[len(c)-1]
+	}
+}
+
+// allocExpr carves a pointer-stable Expr slot out of the arena.
+func (m *Memo) allocExpr() *Expr {
+	for {
+		if m.ecur == len(m.echunks) {
+			m.echunks = append(m.echunks, make([]Expr, 0, exprChunkSize))
+		}
+		c := m.echunks[m.ecur]
+		if len(c) == cap(c) {
+			m.ecur++
+			continue
+		}
+		c = c[:len(c)+1]
+		m.echunks[m.ecur] = c
+		return &c[len(c)-1]
 	}
 }
 
@@ -127,7 +195,7 @@ func (m *Memo) AllGroups() []*Group { return m.groups }
 
 // GroupBySet returns the group covering exactly the given table set.
 func (m *Memo) GroupBySet(set uint64) (*Group, bool) {
-	id, ok := m.bySet[set]
+	id, ok := m.bySet.Get(set)
 	if !ok {
 		return nil, false
 	}
@@ -137,16 +205,21 @@ func (m *Memo) GroupBySet(set uint64) (*Group, bool) {
 // getOrAddGroup returns the group for set, creating it (with cardinality
 // card) if needed. The bool reports whether the group already existed.
 func (m *Memo) getOrAddGroup(set uint64, card float64) (*Group, bool, error) {
-	if id, ok := m.bySet[set]; ok {
+	if id, ok := m.bySet.Get(set); ok {
 		return m.groups[id], true, nil
 	}
 	if err := m.charge(m.cfg.BytesPerGroup); err != nil {
 		return nil, false, err
 	}
 	m.bytes += m.cfg.BytesPerGroup
-	g := &Group{ID: GroupID(len(m.groups)), Set: set, Card: card}
+	g := m.allocGroup()
+	g.ID = GroupID(len(m.groups))
+	g.Set = set
+	g.Card = card
+	g.Exprs = g.Exprs[:0] // retained capacity from a prior life
+	g.Explored = 0
 	m.groups = append(m.groups, g)
-	m.bySet[set] = g.ID
+	m.bySet.Put(set, int32(g.ID))
 	m.groupCount++
 	return g, false, nil
 }
@@ -162,7 +235,7 @@ func (m *Memo) AddLeaf(t *catalog.Table, card float64) (*Group, error) {
 	if existed {
 		return g, nil
 	}
-	if err := m.addExpr(g, &Expr{Kind: KindLeaf, Table: t}); err != nil {
+	if err := m.addExpr(g, KindLeaf, t, 0, 0); err != nil {
 		return nil, err
 	}
 	return g, nil
@@ -180,22 +253,29 @@ func (m *Memo) AddJoin(l, r *Group, card float64) (*Group, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	key := exprKey{set: set, l: l.ID, r: r.ID}
-	if _, dup := m.exprKeys[key]; dup {
+	// Key insertion before the charge is safe: a failed charge aborts the
+	// whole compilation, so the memo is never consulted again.
+	key := uint64(uint32(l.ID))<<32 | uint64(uint32(r.ID))
+	if !m.exprKeys.Add(key) {
 		return g, false, nil
 	}
-	if err := m.addExpr(g, &Expr{Kind: KindJoin, L: l.ID, R: r.ID}); err != nil {
+	if err := m.addExpr(g, KindJoin, nil, l.ID, r.ID); err != nil {
 		return nil, false, err
 	}
-	m.exprKeys[key] = struct{}{}
 	return g, true, nil
 }
 
-func (m *Memo) addExpr(g *Group, e *Expr) error {
+func (m *Memo) addExpr(g *Group, kind ExprKind, t *catalog.Table, l, r GroupID) error {
 	if err := m.charge(m.cfg.BytesPerExpr); err != nil {
 		return err
 	}
 	m.bytes += m.cfg.BytesPerExpr
+	e := m.allocExpr()
+	e.Kind = kind
+	e.Table = t
+	e.L, e.R = l, r
+	e.CommuteApplied = false
+	e.AssocApplied = false
 	g.Exprs = append(g.Exprs, e)
 	m.exprCount++
 	return nil

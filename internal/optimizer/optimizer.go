@@ -20,11 +20,13 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"compilegate/internal/catalog"
 	"compilegate/internal/memo"
 	"compilegate/internal/plan"
 	"compilegate/internal/stats"
+	"compilegate/internal/u64hash"
 )
 
 // Hooks connect one optimization run to the engine.
@@ -67,11 +69,18 @@ func DefaultConfig() Config {
 	}
 }
 
-// Optimizer holds immutable state shared across optimizations.
+// Optimizer holds immutable state shared across optimizations, plus
+// free lists of per-optimization state. Compilations of one scheduler
+// interleave only at blocking points, so the free lists need no locking;
+// each in-flight compilation holds its own run and memo until it
+// finishes or aborts.
 type Optimizer struct {
 	est *stats.Estimator
 	cat *catalog.Catalog
 	cfg Config
+
+	freeRuns  []*run
+	freeMemos []*memo.Memo
 }
 
 // New creates an optimizer over the estimator's catalog.
@@ -82,7 +91,11 @@ func New(est *stats.Estimator, cfg Config) *Optimizer {
 	return &Optimizer{est: est, cat: est.Catalog(), cfg: cfg}
 }
 
-// run is the per-optimization state.
+// run is the per-optimization state. It is pooled: every field is either
+// reset by getRun or overwritten by resolve. Leaf cardinalities,
+// selectivities, and adjacency are dense arrays indexed by table ID (the
+// bit position in the join bitsets) instead of maps — the hot lookups in
+// cardOfSet and connected cost an array index.
 type run struct {
 	o     *Optimizer
 	q     *plan.Query
@@ -90,17 +103,70 @@ type run struct {
 	m     *memo.Memo
 
 	terms    []*plan.TableTerm         // query terms by table ID position
-	tableOf  map[string]*catalog.Table // resolved tables
-	leafCard map[uint64]float64        // per-leaf filtered cardinality
-	leafSel  map[uint64]float64        // per-leaf combined filter selectivity
-	adjacent map[int]uint64            // table ID -> neighbor bitset
+	tabs     []*catalog.Table          // resolved tables, parallel to terms
+	tableOf  map[string]*catalog.Table // name -> table, for join validation
+	leafCard [64]float64               // filtered cardinality by table ID
+	leafSel  [64]float64               // combined filter selectivity by table ID
+	adjacent [64]uint64                // neighbor bitset by table ID
 	edges    []joinEdge                // join edges in insertion order (deterministic)
-	cardMemo map[uint64]float64
+	edgeSeen map[[2]int]bool
+	cardMemo u64hash.MapF64
+
+	// Extraction DP and buildInitial scratch, reused across phases.
+	dp        []costed
+	leaves    []*memo.Group // leaf group per term
+	remaining []bool        // buildInitial: term not yet joined
+	aggCols   []struct{ Table, Column string }
 
 	tasks        int
 	budget       int
 	sinceWork    int
 	cutBestFirst bool // best-effort fired
+}
+
+// getRun returns a pooled, reset run with a pooled memo attached.
+func (o *Optimizer) getRun(q *plan.Query, hooks Hooks) *run {
+	var r *run
+	if n := len(o.freeRuns); n > 0 {
+		r = o.freeRuns[n-1]
+		o.freeRuns = o.freeRuns[:n-1]
+	} else {
+		r = &run{
+			o:        o,
+			tableOf:  make(map[string]*catalog.Table),
+			edgeSeen: make(map[[2]int]bool),
+		}
+	}
+	var m *memo.Memo
+	if n := len(o.freeMemos); n > 0 {
+		m = o.freeMemos[n-1]
+		o.freeMemos = o.freeMemos[:n-1]
+		m.Reset(o.cfg.Memo, hooks.Charge)
+	} else {
+		m = memo.New(o.cfg.Memo, hooks.Charge)
+	}
+	r.q, r.hooks, r.m = q, hooks, m
+	r.terms = r.terms[:0]
+	r.tabs = r.tabs[:0]
+	clear(r.tableOf)
+	r.leafCard = [64]float64{}
+	r.leafSel = [64]float64{}
+	r.adjacent = [64]uint64{}
+	r.edges = r.edges[:0]
+	clear(r.edgeSeen)
+	r.cardMemo.Reset()
+	r.tasks, r.budget, r.sinceWork = 0, 0, 0
+	r.cutBestFirst = false
+	return r
+}
+
+// putRun recycles a finished run and its memo. The returned plan holds
+// no references into either.
+func (o *Optimizer) putRun(r *run) {
+	o.freeMemos = append(o.freeMemos, r.m)
+	r.q, r.m = nil, nil
+	r.hooks = Hooks{}
+	o.freeRuns = append(o.freeRuns, r)
 }
 
 // Optimize compiles q to a physical plan. Errors are either query errors
@@ -110,17 +176,8 @@ func (o *Optimizer) Optimize(q *plan.Query, hooks Hooks) (*plan.Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	r := &run{
-		o:        o,
-		q:        q,
-		hooks:    hooks,
-		m:        memo.New(o.cfg.Memo, hooks.Charge),
-		tableOf:  make(map[string]*catalog.Table),
-		leafCard: make(map[uint64]float64),
-		leafSel:  make(map[uint64]float64),
-		adjacent: make(map[int]uint64),
-		cardMemo: make(map[uint64]float64),
-	}
+	r := o.getRun(q, hooks)
+	defer o.putRun(r)
 	if err := r.resolve(); err != nil {
 		return nil, err
 	}
@@ -129,9 +186,9 @@ func (o *Optimizer) Optimize(q *plan.Query, hooks Hooks) (*plan.Plan, error) {
 		return nil, err
 	}
 	// Dynamic optimization: size the exploration budget from the initial
-	// plan's estimated cost.
-	initial := r.extract(root)
-	r.budget = r.effortBudget(initial.Cost())
+	// plan's estimated cost. The cost is computed without materializing
+	// the throwaway initial plan's nodes (same arithmetic, no allocation).
+	r.budget = r.effortBudget(r.initialCost(root))
 
 	if err := r.explore(root); err != nil {
 		return nil, err
@@ -150,17 +207,8 @@ func (o *Optimizer) EstimateInitialCost(q *plan.Query) (float64, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
-	r := &run{
-		o:        o,
-		q:        q,
-		hooks:    Hooks{},
-		m:        memo.New(o.cfg.Memo, nil),
-		tableOf:  make(map[string]*catalog.Table),
-		leafCard: make(map[uint64]float64),
-		leafSel:  make(map[uint64]float64),
-		adjacent: make(map[int]uint64),
-		cardMemo: make(map[uint64]float64),
-	}
+	r := o.getRun(q, Hooks{})
+	defer o.putRun(r)
 	if err := r.resolve(); err != nil {
 		return 0, err
 	}
@@ -168,7 +216,7 @@ func (o *Optimizer) EstimateInitialCost(q *plan.Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return r.extract(root).Cost(), nil
+	return r.initialCost(root), nil
 }
 
 func (r *run) effortBudget(cost float64) int {
@@ -190,16 +238,15 @@ func (r *run) resolve() error {
 		}
 		r.tableOf[term.Name] = t
 		sel := r.o.est.CombinedSelectivity(term.Preds)
-		set := uint64(1) << uint(t.ID)
 		card := float64(t.Rows) * sel
 		if card < 1 {
 			card = 1
 		}
-		r.leafCard[set] = card
-		r.leafSel[set] = sel
+		r.leafCard[t.ID] = card
+		r.leafSel[t.ID] = sel
 		r.terms = append(r.terms, term)
+		r.tabs = append(r.tabs, t)
 	}
-	seen := make(map[[2]int]bool)
 	for _, j := range r.q.Joins {
 		a, b := r.tableOf[j.A], r.tableOf[j.B]
 		if a == nil || b == nil {
@@ -208,10 +255,10 @@ func (r *run) resolve() error {
 		r.adjacent[a.ID] |= 1 << uint(b.ID)
 		r.adjacent[b.ID] |= 1 << uint(a.ID)
 		key := edgeKey(a.ID, b.ID)
-		if seen[key] {
+		if r.edgeSeen[key] {
 			continue
 		}
-		seen[key] = true
+		r.edgeSeen[key] = true
 		r.edges = append(r.edges, joinEdge{
 			mask: 1<<uint(a.ID) | 1<<uint(b.ID),
 			sel:  r.o.est.JoinSelectivity(j.A, j.B),
@@ -233,16 +280,16 @@ func edgeKey(a, b int) [2]int {
 }
 
 // cardOfSet estimates the cardinality of joining exactly the tables in
-// set: the product of filtered leaf cardinalities and the selectivities of
-// all join edges internal to the set.
+// set: the product of filtered leaf cardinalities (ascending table ID,
+// so the float rounding matches run to run) and the selectivities of all
+// join edges internal to the set.
 func (r *run) cardOfSet(set uint64) float64 {
-	if c, ok := r.cardMemo[set]; ok {
+	if c, ok := r.cardMemo.Get(set); ok {
 		return c
 	}
 	card := 1.0
 	for s := set; s != 0; s &= s - 1 {
-		bit := s & -s
-		card *= r.leafCard[bit]
+		card *= r.leafCard[bits.TrailingZeros64(s)]
 	}
 	for _, e := range r.edges {
 		if set&e.mask == e.mask {
@@ -252,28 +299,18 @@ func (r *run) cardOfSet(set uint64) float64 {
 	if card < 1 {
 		card = 1
 	}
-	r.cardMemo[set] = card
+	r.cardMemo.Put(set, card)
 	return card
 }
 
 // connected reports whether any join edge links s1 and s2.
 func (r *run) connected(s1, s2 uint64) bool {
 	for s := s1; s != 0; s &= s - 1 {
-		id := trailingBit(s)
-		if r.adjacent[id]&s2 != 0 {
+		if r.adjacent[bits.TrailingZeros64(s)]&s2 != 0 {
 			return true
 		}
 	}
 	return false
-}
-
-func trailingBit(s uint64) int {
-	n := 0
-	for s&1 == 0 {
-		s >>= 1
-		n++
-	}
-	return n
 }
 
 // buildInitial creates leaf groups and a connectivity-respecting left-deep
@@ -281,64 +318,65 @@ func trailingBit(s uint64) int {
 // group. This is the "first complete plan" dynamic optimization starts
 // from.
 func (r *run) buildInitial() (*memo.Group, error) {
-	leaves := make(map[string]*memo.Group, len(r.terms))
-	for _, term := range r.terms {
-		t := r.tableOf[term.Name]
-		set := uint64(1) << uint(t.ID)
-		g, err := r.m.AddLeaf(t, r.leafCard[set])
+	r.leaves = r.leaves[:0]
+	for i := range r.terms {
+		t := r.tabs[i]
+		g, err := r.m.AddLeaf(t, r.leafCard[t.ID])
 		if err != nil {
 			return nil, err
 		}
-		leaves[term.Name] = g
+		r.leaves = append(r.leaves, g)
 	}
 	if len(r.terms) == 1 {
-		return leaves[r.terms[0].Name], nil
+		return r.leaves[0], nil
 	}
 
 	// Pick the smallest filtered leaf as the seed, then greedily join the
 	// connected table that minimizes intermediate cardinality.
-	remaining := make(map[string]*memo.Group, len(leaves))
-	for k, v := range leaves {
-		remaining[k] = v
+	r.remaining = r.remaining[:0]
+	for range r.terms {
+		r.remaining = append(r.remaining, true)
 	}
 	var cur *memo.Group
-	var curName string
-	for _, term := range r.terms {
-		g := leaves[term.Name]
+	curIdx := -1
+	for i := range r.terms {
+		g := r.leaves[i]
 		if cur == nil || g.Card < cur.Card {
 			cur = g
-			curName = term.Name
+			curIdx = i
 		}
 	}
-	delete(remaining, curName)
-	for len(remaining) > 0 {
+	r.remaining[curIdx] = false
+	left := len(r.terms) - 1
+	for left > 0 {
 		var best *memo.Group
-		var bestName string
+		bestIdx := -1
 		bestCard := math.Inf(1)
-		for _, term := range r.terms {
-			g, ok := remaining[term.Name]
-			if !ok {
+		for i := range r.terms {
+			if !r.remaining[i] {
 				continue
 			}
+			g := r.leaves[i]
 			if !r.connected(cur.Set, g.Set) {
 				continue
 			}
 			c := r.cardOfSet(cur.Set | g.Set)
 			if c < bestCard {
-				best, bestName, bestCard = g, term.Name, c
+				best, bestIdx, bestCard = g, i, c
 			}
 		}
 		if best == nil {
 			// Validate() guarantees connectivity, so this is unreachable
 			// unless the query lied; fail loudly.
-			return nil, fmt.Errorf("optimizer: disconnected join graph at %s", curName)
+			return nil, fmt.Errorf("optimizer: disconnected join graph at %s", r.terms[curIdx].Name)
 		}
 		joined, _, err := r.m.AddJoin(cur, best, bestCard)
 		if err != nil {
 			return nil, err
 		}
 		cur = joined
-		delete(remaining, bestName)
+		r.remaining[bestIdx] = false
+		left--
 	}
 	return cur, nil
 }
@@ -447,21 +485,25 @@ type costed struct {
 	// Leaf access path choice:
 	op   plan.Op
 	frac float64 // fraction of extents read
+	ok   bool    // entry computed
 }
 
 // extract computes the cheapest implementation of every group reachable
 // from root and materializes the physical plan (with the query's aggregate
-// on top when present).
+// on top when present). The DP table is a pooled slice indexed by group
+// ID rather than a map.
 func (r *run) extract(root *memo.Group) *plan.Plan {
-	best := make(map[memo.GroupID]costed)
-	node := r.buildNode(root, best)
+	n := len(r.m.AllGroups())
+	if cap(r.dp) < n {
+		r.dp = make([]costed, n)
+	} else {
+		r.dp = r.dp[:n]
+		clear(r.dp)
+	}
+	node := r.buildNode(root, r.dp)
 	// Aggregation on top.
 	if len(r.q.GroupBy) > 0 {
-		cols := make([]struct{ Table, Column string }, len(r.q.GroupBy))
-		for i, c := range r.q.GroupBy {
-			cols[i] = struct{ Table, Column string }{c.Table, c.Column}
-		}
-		groups := r.o.est.DistinctAfterGroupBy(node.OutCard, cols)
+		groups := r.groupByDistinct(node.OutCard)
 		aggs := r.q.Aggregates
 		if aggs < 1 {
 			aggs = 1
@@ -481,19 +523,73 @@ func (r *run) extract(root *memo.Group) *plan.Plan {
 	return &plan.Plan{Root: node}
 }
 
-// bestOf computes the group's cheapest expression (memoized).
-func (r *run) bestOf(g *memo.Group, memoized map[memo.GroupID]costed) costed {
-	if c, ok := memoized[g.ID]; ok {
+// groupByDistinct estimates the aggregate's output groups, reusing the
+// run's column scratch.
+func (r *run) groupByDistinct(card float64) float64 {
+	r.aggCols = r.aggCols[:0]
+	for _, c := range r.q.GroupBy {
+		r.aggCols = append(r.aggCols, struct{ Table, Column string }{c.Table, c.Column})
+	}
+	return r.o.est.DistinctAfterGroupBy(card, r.aggCols)
+}
+
+// initialCost is extract().Cost() without materializing plan nodes: the
+// same DP over the same groups with the same operand order, so the
+// effort budget it feeds is bit-identical to the materializing version.
+func (r *run) initialCost(root *memo.Group) float64 {
+	n := len(r.m.AllGroups())
+	if cap(r.dp) < n {
+		r.dp = make([]costed, n)
+	} else {
+		r.dp = r.dp[:n]
+		clear(r.dp)
+	}
+	cost := r.subtreeCost(root, r.dp)
+	if len(r.q.GroupBy) > 0 {
+		groups := r.groupByDistinct(root.Card)
+		aggs := r.q.Aggregates
+		if aggs < 1 {
+			aggs = 1
+		}
+		cm := r.o.cfg.Cost
+		aggCost := root.Card*cm.AggRow*float64(aggs) + groups*cm.BuildRow
+		cost = cost + aggCost
+	}
+	return cost
+}
+
+// subtreeCost mirrors buildNode's SubtreeCost arithmetic (operand order
+// included — float addition is not associative) without allocating the
+// nodes.
+func (r *run) subtreeCost(g *memo.Group, memoized []costed) float64 {
+	c := r.bestOf(g, memoized)
+	e := c.expr
+	if e.Kind == memo.KindLeaf {
+		return c.cost
+	}
+	l, rt := r.m.Group(e.L), r.m.Group(e.R)
+	lc := r.subtreeCost(l, memoized)
+	rc := r.subtreeCost(rt, memoized)
+	cm := r.o.cfg.Cost
+	own := rt.Card*cm.BuildRow + l.Card*cm.CPURow + g.Card*cm.CPURow
+	return lc + rc + own
+}
+
+// bestOf computes the group's cheapest expression, memoized in the DP
+// slice; the returned pointer aliases the slice entry (stable for the
+// duration of one extraction).
+func (r *run) bestOf(g *memo.Group, memoized []costed) *costed {
+	if c := &memoized[g.ID]; c.ok {
 		return c
 	}
 	cm := r.o.cfg.Cost
-	out := costed{cost: math.Inf(1)}
+	out := costed{cost: math.Inf(1), ok: true}
 	for _, e := range g.Exprs {
 		switch e.Kind {
 		case memo.KindLeaf:
 			t := e.Table
 			extents := float64(r.o.cat.Extents(t))
-			sel := r.leafSel[g.Set]
+			sel := r.leafSel[bits.TrailingZeros64(g.Set)]
 			// Sequential scan.
 			seq := extents*cm.SeqExtent + float64(t.Rows)*cm.CPURow
 			if seq < out.cost {
@@ -524,12 +620,13 @@ func (r *run) bestOf(g *memo.Group, memoized map[memo.GroupID]costed) costed {
 			}
 		}
 	}
+	out.ok = true
 	memoized[g.ID] = out
-	return out
+	return &memoized[g.ID]
 }
 
 // buildNode materializes the chosen expression tree for g.
-func (r *run) buildNode(g *memo.Group, memoized map[memo.GroupID]costed) *plan.Node {
+func (r *run) buildNode(g *memo.Group, memoized []costed) *plan.Node {
 	c := r.bestOf(g, memoized)
 	cm := r.o.cfg.Cost
 	e := c.expr

@@ -67,28 +67,44 @@ func (q *Query) Validate() error {
 	if len(q.Tables) == 0 {
 		return fmt.Errorf("plan: query references no tables")
 	}
-	idx := make(map[string]int, len(q.Tables))
-	for i, t := range q.Tables {
-		if _, dup := idx[t.Name]; dup {
-			return fmt.Errorf("plan: table %s referenced twice (self-joins unsupported)", t.Name)
+	// Duplicate detection and union-find run on the stack for the query
+	// sizes the engine supports (join bitsets cap tables at 64); this is
+	// validated on every compilation, so it must not allocate.
+	index := func(name string) int {
+		for i := range q.Tables {
+			if q.Tables[i].Name == name {
+				return i
+			}
 		}
-		idx[t.Name] = i
+		return -1
 	}
-	parent := make([]int, len(q.Tables))
+	for i := range q.Tables {
+		for j := 0; j < i; j++ {
+			if q.Tables[j].Name == q.Tables[i].Name {
+				return fmt.Errorf("plan: table %s referenced twice (self-joins unsupported)", q.Tables[i].Name)
+			}
+		}
+	}
+	var parentBuf [64]int
+	var parent []int
+	if len(q.Tables) <= len(parentBuf) {
+		parent = parentBuf[:len(q.Tables)]
+	} else {
+		parent = make([]int, len(q.Tables))
+	}
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
 		}
-		return parent[x]
+		return x
 	}
 	for _, j := range q.Joins {
-		a, okA := idx[j.A]
-		b, okB := idx[j.B]
-		if !okA || !okB {
+		a, b := index(j.A), index(j.B)
+		if a < 0 || b < 0 {
 			return fmt.Errorf("plan: join %s-%s references unlisted table", j.A, j.B)
 		}
 		parent[find(a)] = find(b)

@@ -5,41 +5,46 @@
 // The paper's SALES workload deliberately defeats this cache (every query
 // is uniquified), which is precisely why compilation memory dominates; the
 // OLTP workloads hit it and skip compilation entirely. Both behaviours
-// fall out of the fingerprint.
+// fall out of the fingerprint. Because SALES churns an insert and an
+// eviction through the cache per statement, recency is an intrusive
+// doubly-linked list over pooled entries rather than container/list.
 package plancache
 
 import (
-	"container/list"
 	"fmt"
 	"time"
 
+	"compilegate/internal/freelist"
 	"compilegate/internal/mem"
 	"compilegate/internal/plan"
 )
 
+type entry struct {
+	key        string
+	p          *plan.Plan
+	bytes      int64
+	added      time.Duration
+	prev, next *entry // recency list: front = most recent
+}
+
 // Cache is the plan cache.
 type Cache struct {
 	tracker *mem.Tracker
-	entries map[string]*list.Element
-	lru     *list.List // front = most recent
+	entries map[string]*entry
+	front   *entry // most recently used
+	back    *entry // least recently used
 	target  int64
 
-	hits, misses, inserts, evictions uint64
-}
+	free freelist.List[entry] // recycled entries
 
-type entry struct {
-	key   string
-	p     *plan.Plan
-	bytes int64
-	added time.Duration
+	hits, misses, inserts, evictions uint64
 }
 
 // New creates a cache charging plans to tracker.
 func New(tracker *mem.Tracker) *Cache {
 	return &Cache{
 		tracker: tracker,
-		entries: make(map[string]*list.Element),
-		lru:     list.New(),
+		entries: make(map[string]*entry),
 	}
 }
 
@@ -63,16 +68,61 @@ func (c *Cache) HitRate() float64 {
 	return float64(c.hits) / float64(t)
 }
 
+// --- recency list ---
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.front
+	if c.front != nil {
+		c.front.prev = e
+	} else {
+		c.back = e
+	}
+	c.front = e
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.front == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// release drops an entry from the map and list and recycles it.
+func (c *Cache) release(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.tracker.Release(e.bytes)
+	e.p = nil
+	e.key = ""
+	c.free.Put(e)
+}
+
 // Get returns the cached plan for the fingerprint, refreshing recency.
 func (c *Cache) Get(key string) (*plan.Plan, bool) {
-	el, ok := c.entries[key]
+	e, ok := c.entries[key]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*entry).p, true
+	c.moveToFront(e)
+	return e.p, true
 }
 
 // Put caches a plan under the fingerprint at virtual time now. If memory
@@ -81,14 +131,11 @@ func (c *Cache) Get(key string) (*plan.Plan, bool) {
 // Re-putting an existing key replaces the stored plan and adjusts the
 // tracker charge to the new plan's size.
 func (c *Cache) Put(key string, p *plan.Plan, now time.Duration) {
-	if el, ok := c.entries[key]; ok {
+	if e, ok := c.entries[key]; ok {
 		// Drop the stale entry and release its charge; the fresh plan
 		// goes through the normal insert path below (which may evict
 		// colder plans to make room if it grew).
-		e := el.Value.(*entry)
-		c.lru.Remove(el)
-		delete(c.entries, key)
-		c.tracker.Release(e.bytes)
+		c.release(e)
 	}
 	bytes := p.PlanBytes()
 	// Respect the broker target by making room first.
@@ -104,21 +151,23 @@ func (c *Cache) Put(key string, p *plan.Plan, now time.Duration) {
 			return // nothing left to evict; skip caching
 		}
 	}
-	el := c.lru.PushFront(&entry{key: key, p: p, bytes: bytes, added: now})
-	c.entries[key] = el
+	e := c.free.Get()
+	if e == nil {
+		e = &entry{}
+	}
+	e.key, e.p, e.bytes, e.added = key, p, bytes, now
+	c.pushFront(e)
+	c.entries[key] = e
 	c.inserts++
 }
 
 // evictOldest removes the least-recently-used plan; reports success.
 func (c *Cache) evictOldest() bool {
-	el := c.lru.Back()
-	if el == nil {
+	e := c.back
+	if e == nil {
 		return false
 	}
-	e := el.Value.(*entry)
-	c.lru.Remove(el)
-	delete(c.entries, e.key)
-	c.tracker.Release(e.bytes)
+	c.release(e)
 	c.evictions++
 	return true
 }

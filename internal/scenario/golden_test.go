@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSchedulerGoldenDigest pins the end-to-end results of a full
+// scenario run to the values produced by the seed (goroutine-per-task)
+// scheduler, proving the event-loop rewrite preserves run-queue ordering
+// — and therefore virtual timestamps and every derived metric — exactly.
+//
+// The digest covers both arms of the Figure 3 comparison on the
+// compressed benchmark window: completions, errors, the compile and
+// execution latency medians, and the throttled/baseline throughput
+// ratio. Any scheduler change that reorders events, however slightly,
+// shifts gate-timeout timing and shows up here.
+//
+// Recorded against commit 37c27ab (PR 2), before the event-loop rewrite.
+func TestSchedulerGoldenDigest(t *testing.T) {
+	s := Sales(30).WithWindow(2*time.Hour, 30*time.Minute)
+	results := RunSweep([]Scenario{s, s.Baseline()}, 0)
+	for _, sr := range results {
+		if sr.Err != nil {
+			t.Fatalf("%s: %v", sr.Scenario.Name, sr.Err)
+		}
+	}
+	th, ba := results[0].Result, results[1].Result
+
+	ratio := float64(th.Completed) / float64(ba.Completed)
+	digest := fmt.Sprintf(
+		"throttled: completed=%d errors=%d compile-p50=%v exec-p50=%v submitted=%d retries=%d\n"+
+			"baseline: completed=%d errors=%d compile-p50=%v exec-p50=%v submitted=%d retries=%d\n"+
+			"ratio=%.6f",
+		th.Completed, th.Errors, th.CompileP50, th.ExecP50, th.Load.Submitted, th.Load.Retries,
+		ba.Completed, ba.Errors, ba.CompileP50, ba.ExecP50, ba.Load.Submitted, ba.Load.Retries,
+		ratio)
+
+	const golden = "" +
+		"throttled: completed=187 errors=11 compile-p50=25m35.787306769s exec-p50=5m0s submitted=272 retries=11\n" +
+		"baseline: completed=138 errors=1 compile-p50=33m59.130615437s exec-p50=10m0s submitted=195 retries=1\n" +
+		"ratio=1.355072"
+
+	if digest != golden {
+		t.Errorf("scenario digest diverged from the pre-rewrite scheduler:\ngot:\n%s\nwant:\n%s", digest, golden)
+	}
+}

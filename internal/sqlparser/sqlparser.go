@@ -10,33 +10,105 @@ package sqlparser
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"strings"
+	"sync"
 
 	"compilegate/internal/plan"
 	"compilegate/internal/stats"
 )
 
+// Hash64 is the FNV-1a hash of s. It backs Fingerprint and the engine's
+// per-query execution seeds, inlined so the per-statement hot path
+// allocates nothing.
+func Hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+const hexDigits = "0123456789abcdef"
+
 // Fingerprint hashes query text for plan-cache lookup. Any textual
 // difference (including comments) yields a new fingerprint, which is how
 // the paper's load generator defeats plan caching [7].
 func Fingerprint(sql string) string {
-	h := fnv.New64a()
-	h.Write([]byte(sql))
-	return fmt.Sprintf("%016x", h.Sum64())
+	h := Hash64(sql)
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexDigits[h&0xf]
+		h >>= 4
+	}
+	return string(buf[:])
 }
+
+// lexerPool recycles token buffers across Parse calls; Parse runs from
+// concurrently-sweeping schedulers, so the pool must be synchronized.
+var lexerPool = sync.Pool{New: func() any { return &lexer{} }}
 
 // Parse converts SQL text to a plan.Query. The returned query carries the
 // original text.
 func Parse(sql string) (*plan.Query, error) {
-	p := &parser{lex: newLexer(sql)}
+	l := lexerPool.Get().(*lexer)
+	l.lex(sql)
+	p := &parser{lex: l}
 	q, err := p.parse()
+	l.src = l.src[:0]
+	l.pos = 0
+	lexerPool.Put(l)
 	if err != nil {
 		return nil, fmt.Errorf("sqlparser: %w", err)
 	}
 	q.Text = sql
 	return q, nil
+}
+
+// keywords interns the lower-case form of the dialect's (upper-case)
+// keywords and common aggregate names, so lexing a statement does not
+// allocate one lowered string per keyword token.
+var keywords = map[string]string{
+	"select": "select", "from": "from", "where": "where", "and": "and",
+	"or": "or", "inner": "inner", "join": "join", "on": "on",
+	"group": "group", "by": "by", "as": "as", "sum": "sum",
+	"count": "count", "avg": "avg", "min": "min", "max": "max",
+	"distinct": "distinct", "order": "order", "having": "having",
+}
+
+// lowerIdent lower-cases an identifier token, interning keywords and
+// returning already-lower-case text (the common case for table and
+// column names) without allocating.
+func lowerIdent(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	var buf [24]byte
+	if len(s) <= len(buf) {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		if kw, ok := keywords[string(buf[:len(s)])]; ok {
+			return kw
+		}
+	}
+	return strings.ToLower(s)
 }
 
 type tokKind int
@@ -60,8 +132,10 @@ type lexer struct {
 	pos int
 }
 
-func newLexer(s string) *lexer {
-	l := &lexer{}
+// lex tokenizes s into l.src (reusing its capacity).
+func (l *lexer) lex(s string) {
+	l.src = l.src[:0]
+	l.pos = 0
 	i, n := 0, len(s)
 	for i < n {
 		c := s[i]
@@ -84,7 +158,7 @@ func newLexer(s string) *lexer {
 			for j < n && (isAlpha(s[j]) || isDigit(s[j])) {
 				j++
 			}
-			l.src = append(l.src, token{kind: tokIdent, text: strings.ToLower(s[i:j])})
+			l.src = append(l.src, token{kind: tokIdent, text: lowerIdent(s[i:j])})
 			i = j
 		case isDigit(c) || (c == '-' && i+1 < n && isDigit(s[i+1])):
 			j := i + 1
@@ -119,7 +193,6 @@ func newLexer(s string) *lexer {
 			i++
 		}
 	}
-	return l
 }
 
 func isAlpha(c byte) bool {

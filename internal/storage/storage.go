@@ -88,6 +88,13 @@ func DefaultPattern() Pattern {
 // instances touch different (but overlapping, via the hot region) extent
 // sets deterministically per seed.
 func (l *Layout) ScanExtents(table string, fraction float64, p Pattern, rng *rand.Rand) []ExtentKey {
+	return l.ScanExtentsInto(nil, table, fraction, p, rng)
+}
+
+// ScanExtentsInto is ScanExtents appending into buf (which should be
+// sliced to zero length), letting hot callers reuse one keys buffer
+// across scans instead of allocating per query.
+func (l *Layout) ScanExtentsInto(buf []ExtentKey, table string, fraction float64, p Pattern, rng *rand.Rand) []ExtentKey {
 	t := l.cat.Table(table)
 	if t == nil {
 		panic("storage: unknown table " + table)
@@ -106,13 +113,11 @@ func (l *Layout) ScanExtents(table string, fraction float64, p Pattern, rng *ran
 	}
 	if fraction >= 0.999 {
 		// Full scan: every extent once, sequential.
-		keys := make([]ExtentKey, total)
 		for i := int64(0); i < total; i++ {
-			keys[i] = NewExtentKey(t.ID, i)
+			buf = append(buf, NewExtentKey(t.ID, i))
 		}
-		return keys
+		return buf
 	}
-	keys := make([]ExtentKey, 0, n)
 	for i := int64(0); i < n; i++ {
 		var ext int64
 		if rng.Float64() < p.HotProbability {
@@ -120,9 +125,9 @@ func (l *Layout) ScanExtents(table string, fraction float64, p Pattern, rng *ran
 		} else {
 			ext = rng.Int63n(total)
 		}
-		keys = append(keys, NewExtentKey(t.ID, ext))
+		buf = append(buf, NewExtentKey(t.ID, ext))
 	}
-	return keys
+	return buf
 }
 
 // String summarizes the layout.

@@ -1,0 +1,246 @@
+// Package u64hash provides tiny open-addressing hash containers for
+// nonzero uint64 keys. The optimizer's memo dedup tables and cardinality
+// memos are the hottest data structures in a compilation; these replace
+// Go maps there, trading generality for a single mixed-hash probe, no
+// per-bucket control words, and backing arrays that Reset retains for
+// pooled reuse.
+//
+// Keys must be nonzero (zero marks an empty slot). All containers grow
+// by doubling at 1/2 load, keeping probe sequences short.
+package u64hash
+
+// mix is the splitmix64 finalizer: join bitsets and packed ID pairs are
+// low-entropy, so slot selection needs a full-avalanche mix.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// minSlots sizes a table's first allocation. Memo dedup tables routinely
+// reach thousands of keys per compilation, so starting larger skips the
+// early rehash ladder during pool warm-up at a few KiB of cost.
+const minSlots = 256
+
+// Set is an open-addressing set of nonzero uint64 keys.
+type Set struct {
+	slots []uint64
+	n     int
+}
+
+// Len returns the number of keys in the set.
+func (s *Set) Len() int { return s.n }
+
+// Reset empties the set, retaining capacity.
+func (s *Set) Reset() {
+	clear(s.slots)
+	s.n = 0
+}
+
+// Add inserts k, reporting whether it was newly added (false = already
+// present). k must be nonzero.
+func (s *Set) Add(k uint64) bool {
+	if len(s.slots) == 0 {
+		s.grow()
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := mix(k) & mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			if s.n*2 >= len(s.slots) {
+				s.grow()
+				mask = uint64(len(s.slots) - 1)
+				i = mix(k) & mask
+				for s.slots[i] != 0 {
+					i = (i + 1) & mask
+				}
+			}
+			s.slots[i] = k
+			s.n++
+			return true
+		case k:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *Set) grow() {
+	n := len(s.slots) * 2
+	if n < minSlots {
+		n = minSlots
+	}
+	old := s.slots
+	s.slots = make([]uint64, n)
+	mask := uint64(n - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := mix(k) & mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = k
+	}
+}
+
+// MapF64 maps nonzero uint64 keys to float64 values.
+type MapF64 struct {
+	keys []uint64
+	vals []float64
+	n    int
+}
+
+// Len returns the number of entries.
+func (m *MapF64) Len() int { return m.n }
+
+// Reset empties the map, retaining capacity.
+func (m *MapF64) Reset() {
+	clear(m.keys)
+	m.n = 0
+}
+
+// Get returns the value for k and whether it is present.
+func (m *MapF64) Get(k uint64) (float64, bool) {
+	if len(m.keys) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix(k) & mask
+	for {
+		switch m.keys[i] {
+		case 0:
+			return 0, false
+		case k:
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Put inserts or replaces the value for k. k must be nonzero.
+func (m *MapF64) Put(k uint64, v float64) {
+	if m.n*2 >= len(m.keys) {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix(k) & mask
+	for {
+		switch m.keys[i] {
+		case 0:
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		case k:
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (m *MapF64) grow() {
+	n := len(m.keys) * 2
+	if n < minSlots {
+		n = minSlots
+	}
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]uint64, n)
+	m.vals = make([]float64, n)
+	mask := uint64(n - 1)
+	for j, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		i := mix(k) & mask
+		for m.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		m.keys[i] = k
+		m.vals[i] = oldV[j]
+	}
+}
+
+// MapI32 maps nonzero uint64 keys to int32 values.
+type MapI32 struct {
+	keys []uint64
+	vals []int32
+	n    int
+}
+
+// Len returns the number of entries.
+func (m *MapI32) Len() int { return m.n }
+
+// Reset empties the map, retaining capacity.
+func (m *MapI32) Reset() {
+	clear(m.keys)
+	m.n = 0
+}
+
+// Get returns the value for k and whether it is present.
+func (m *MapI32) Get(k uint64) (int32, bool) {
+	if len(m.keys) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix(k) & mask
+	for {
+		switch m.keys[i] {
+		case 0:
+			return 0, false
+		case k:
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Put inserts or replaces the value for k. k must be nonzero.
+func (m *MapI32) Put(k uint64, v int32) {
+	if m.n*2 >= len(m.keys) {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix(k) & mask
+	for {
+		switch m.keys[i] {
+		case 0:
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		case k:
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (m *MapI32) grow() {
+	n := len(m.keys) * 2
+	if n < minSlots {
+		n = minSlots
+	}
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]uint64, n)
+	m.vals = make([]int32, n)
+	mask := uint64(n - 1)
+	for j, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		i := mix(k) & mask
+		for m.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		m.keys[i] = k
+		m.vals[i] = oldV[j]
+	}
+}

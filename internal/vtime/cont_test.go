@@ -1,0 +1,261 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestContinuationSleepChain drives a pure continuation task (no
+// goroutine) through a SleepThen chain and checks the virtual
+// timestamps it observes.
+func TestContinuationSleepChain(t *testing.T) {
+	s := NewScheduler()
+	var wakes []time.Duration
+	var step func(tk *Task)
+	step = func(tk *Task) {
+		wakes = append(wakes, tk.Now())
+		if len(wakes) < 3 {
+			tk.SleepThen(2*time.Second, StepFunc(step))
+		}
+		// Returning without arming a resume point exits the task.
+	}
+	s.GoFunc("chain", step)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 2 * time.Second, 4 * time.Second}
+	if len(wakes) != len(want) {
+		t.Fatalf("wakes = %v, want %v", wakes, want)
+	}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Fatalf("wake %d at %v, want %v", i, wakes[i], want[i])
+		}
+	}
+	if s.Live() != 0 {
+		t.Fatalf("live = %d after Run", s.Live())
+	}
+}
+
+// TestContinuationWaitSignal checks WaitThen wake order (FIFO) with a
+// mix of continuation and blocking-style waiters on one queue.
+func TestContinuationWaitSignal(t *testing.T) {
+	s := NewScheduler()
+	q := NewWaitQueue("q")
+	var order []string
+	s.GoFunc("c1", func(tk *Task) {
+		q.WaitThen(tk, StepFunc(func(tk *Task) { order = append(order, "c1") }))
+	})
+	s.Go("g1", func(tk *Task) {
+		q.Wait(tk)
+		order = append(order, "g1")
+	})
+	s.GoFunc("c2", func(tk *Task) {
+		q.WaitThen(tk, StepFunc(func(tk *Task) { order = append(order, "c2") }))
+	})
+	s.GoFunc("signaler", func(tk *Task) {
+		tk.SleepThen(time.Second, StepFunc(func(tk *Task) {
+			if n := q.Broadcast(); n != 3 {
+				t.Errorf("Broadcast woke %d, want 3", n)
+			}
+		}))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "c1" || order[1] != "g1" || order[2] != "c2" {
+		t.Fatalf("wake order = %v, want [c1 g1 c2]", order)
+	}
+}
+
+// TestContinuationWaitTimeout checks both outcomes of WaitTimeoutThen
+// via Task.TimedOut, and that a timed-out waiter is unlinked from the
+// queue without disturbing FIFO order of the others.
+func TestContinuationWaitTimeout(t *testing.T) {
+	s := NewScheduler()
+	q := NewWaitQueue("q")
+	var events []string
+	s.GoFunc("early", func(tk *Task) {
+		q.WaitTimeoutThen(tk, time.Second, StepFunc(func(tk *Task) {
+			if tk.TimedOut() {
+				events = append(events, "early-timeout")
+			} else {
+				events = append(events, "early-signaled")
+			}
+		}))
+	})
+	s.GoFunc("late", func(tk *Task) {
+		q.WaitTimeoutThen(tk, time.Minute, StepFunc(func(tk *Task) {
+			if tk.TimedOut() {
+				events = append(events, "late-timeout")
+			} else {
+				events = append(events, "late-signaled")
+			}
+		}))
+	})
+	s.GoFunc("signaler", func(tk *Task) {
+		tk.SleepThen(10*time.Second, StepFunc(func(tk *Task) {
+			q.Signal()
+		}))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "early-timeout" || events[1] != "late-signaled" {
+		t.Fatalf("events = %v, want [early-timeout late-signaled]", events)
+	}
+}
+
+// TestContinuationDeadlockReport checks that continuation tasks blocked
+// forever are named in the deadlock error exactly like goroutine tasks.
+func TestContinuationDeadlockReport(t *testing.T) {
+	s := NewScheduler()
+	q := NewWaitQueue("q")
+	s.GoFunc("cont-waiter", func(tk *Task) {
+		q.WaitThen(tk, StepFunc(func(tk *Task) {}))
+	})
+	s.Go("goro-waiter", func(tk *Task) {
+		q.Wait(tk)
+	})
+	err := s.Run()
+	dl, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("Run = %v, want *ErrDeadlock", err)
+	}
+	if len(dl.Blocked) != 2 || dl.Blocked[0] != "cont-waiter" || dl.Blocked[1] != "goro-waiter" {
+		t.Fatalf("blocked = %v, want sorted [cont-waiter goro-waiter]", dl.Blocked)
+	}
+}
+
+// TestContinuationYieldInterleave checks YieldThen lets another task run
+// at the same virtual instant.
+func TestContinuationYieldInterleave(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.GoFunc("a", func(tk *Task) {
+		order = append(order, "a1")
+		tk.YieldThen(StepFunc(func(tk *Task) {
+			order = append(order, "a2")
+			if tk.Now() != 0 {
+				t.Errorf("yield advanced the clock to %v", tk.Now())
+			}
+		}))
+	})
+	s.GoFunc("b", func(tk *Task) {
+		order = append(order, "b")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a1" || order[1] != "b" || order[2] != "a2" {
+		t.Fatalf("order = %v, want [a1 b a2]", order)
+	}
+}
+
+// TestAwaitSyncAndParked exercises both Await paths from a
+// blocking-style task: a composite op that completes synchronously and
+// one that parks.
+func TestAwaitSyncAndParked(t *testing.T) {
+	s := NewScheduler()
+	var afterSync, afterParked time.Duration
+	s.Go("task", func(tk *Task) {
+		// Synchronous completion: the op calls k inline, no round trip.
+		tk.Await(func(k Step) { k.Run(tk) })
+		afterSync = tk.Now()
+		// Parked completion: the op arms a timer.
+		tk.Await(func(k Step) { tk.SleepThen(3*time.Second, k) })
+		afterParked = tk.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if afterSync != 0 {
+		t.Fatalf("sync Await advanced clock to %v", afterSync)
+	}
+	if afterParked != 3*time.Second {
+		t.Fatalf("parked Await resumed at %v, want 3s", afterParked)
+	}
+}
+
+// TestSemaphoreAcquireThen checks the continuation acquire paths,
+// including the slot handoff from Release.
+func TestSemaphoreAcquireThen(t *testing.T) {
+	s := NewScheduler()
+	m := NewSemaphore("m", 1)
+	var got []string
+	s.GoFunc("holder", func(tk *Task) {
+		m.AcquireThen(tk, StepFunc(func(tk *Task) {
+			got = append(got, "holder")
+			tk.SleepThen(5*time.Second, StepFunc(func(tk *Task) {
+				m.Release()
+			}))
+		}))
+	})
+	s.GoFunc("waiter", func(tk *Task) {
+		m.AcquireTimeoutThen(tk, time.Minute, StepFunc(func(tk *Task) {
+			if tk.TimedOut() {
+				t.Error("waiter timed out despite Release")
+				return
+			}
+			got = append(got, "waiter")
+			if tk.Now() != 5*time.Second {
+				t.Errorf("waiter acquired at %v, want 5s", tk.Now())
+			}
+			m.Release()
+		}))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "holder" || got[1] != "waiter" {
+		t.Fatalf("order = %v, want [holder waiter]", got)
+	}
+	if m.Held() != 0 {
+		t.Fatalf("held = %d after run", m.Held())
+	}
+}
+
+// TestCPUSetUseThen checks that the continuation CPU op charges the same
+// virtual time as the blocking wrapper and respects quantum contention.
+func TestCPUSetUseThen(t *testing.T) {
+	s := NewScheduler()
+	c := NewCPUSet(1, 100*time.Millisecond)
+	var contDone, goroDone time.Duration
+	s.GoFunc("cont", func(tk *Task) {
+		c.UseThen(tk, 250*time.Millisecond, StepFunc(func(tk *Task) {
+			contDone = tk.Now()
+		}))
+	})
+	s.Go("goro", func(tk *Task) {
+		c.Use(tk, 250*time.Millisecond)
+		goroDone = tk.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One processor, two 250ms demands in 100ms quanta: the tasks
+	// interleave quantum by quantum, finishing at 450ms and 500ms.
+	if contDone != 450*time.Millisecond {
+		t.Fatalf("cont finished at %v, want 450ms", contDone)
+	}
+	if goroDone != 500*time.Millisecond {
+		t.Fatalf("goro finished at %v, want 500ms", goroDone)
+	}
+	if c.BusyTime() != 500*time.Millisecond {
+		t.Fatalf("busy = %v, want 500ms", c.BusyTime())
+	}
+}
+
+// TestEventsCounter checks the dispatch counter feeding sim-events/sec.
+func TestEventsCounter(t *testing.T) {
+	s := NewScheduler()
+	s.GoFunc("a", func(tk *Task) {
+		tk.SleepThen(time.Second, StepFunc(func(tk *Task) {}))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events() != 2 {
+		t.Fatalf("Events = %d, want 2 (spawn dispatch + timer wake)", s.Events())
+	}
+}

@@ -1,6 +1,10 @@
 package vtime
 
-import "time"
+import (
+	"time"
+
+	"compilegate/internal/freelist"
+)
 
 // Semaphore is a FIFO counting semaphore over virtual time. Release hands
 // the slot directly to the longest waiter (no barging), which keeps
@@ -65,6 +69,16 @@ func (m *Semaphore) Acquire(t *Task) {
 	// Slot was transferred by Release/SetCap before the wakeup.
 }
 
+// AcquireThen acquires a slot, running k once it is held. The slot may
+// be taken synchronously (k runs inline) or handed over by a Release.
+func (m *Semaphore) AcquireThen(t *Task, k Step) {
+	if m.TryAcquire() {
+		k.Run(t)
+		return
+	}
+	m.q.WaitThen(t, k)
+}
+
 // AcquireTimeout blocks for at most d and reports whether the slot was
 // acquired.
 func (m *Semaphore) AcquireTimeout(t *Task, d time.Duration) bool {
@@ -72,6 +86,17 @@ func (m *Semaphore) AcquireTimeout(t *Task, d time.Duration) bool {
 		return true
 	}
 	return m.q.WaitTimeout(t, d)
+}
+
+// AcquireTimeoutThen acquires a slot or gives up after d, then runs k;
+// k reads t.TimedOut() to distinguish the outcomes (false = acquired).
+func (m *Semaphore) AcquireTimeoutThen(t *Task, d time.Duration, k Step) {
+	if m.TryAcquire() {
+		t.timedOut = false
+		k.Run(t)
+		return
+	}
+	m.q.WaitTimeoutThen(t, d, k)
 }
 
 // Release returns a slot. If tasks are waiting and capacity allows, the
@@ -96,6 +121,8 @@ type CPUSet struct {
 	busy     time.Duration // aggregate CPU time consumed
 	dilation func() float64
 	stall    time.Duration // extra occupancy charged by dilation
+
+	ops freelist.List[cpuUseOp] // recycled continuation ops (single scheduler)
 }
 
 // NewCPUSet creates a CPU pool with n processors and the given scheduling
@@ -126,25 +153,87 @@ func (c *CPUSet) SetDilation(fn func() float64) { c.dilation = fn }
 // StallTime returns the aggregate extra occupancy charged by dilation.
 func (c *CPUSet) StallTime() time.Duration { return c.stall }
 
+// cpuUseOp is the continuation state machine behind Use/UseThen: claim a
+// processor, run one quantum, release, repeat.
+type cpuUseOp struct {
+	c      *CPUSet
+	remain time.Duration
+	q      time.Duration
+	occupy time.Duration
+	k      Step
+	state  int8
+}
+
+const (
+	cpuClaim int8 = iota
+	cpuRun
+	cpuDone
+)
+
+func (op *cpuUseOp) Run(t *Task) {
+	c := op.c
+	for {
+		switch op.state {
+		case cpuClaim:
+			q := c.quantum
+			if op.remain < q {
+				q = op.remain
+			}
+			occupy := q
+			if c.dilation != nil {
+				if f := c.dilation(); f > 1 {
+					occupy = time.Duration(float64(q) * f)
+				}
+			}
+			op.q, op.occupy = q, occupy
+			op.state = cpuRun
+			if !c.sem.TryAcquire() {
+				// FIFO wait; the slot is transferred by Release.
+				c.sem.q.WaitThen(t, op)
+				return
+			}
+		case cpuRun:
+			op.state = cpuDone
+			t.SleepThen(op.occupy, op)
+			return
+		case cpuDone:
+			c.sem.Release()
+			c.busy += op.occupy
+			c.stall += op.occupy - op.q
+			op.remain -= op.q
+			if op.remain <= 0 {
+				k := op.k
+				op.k = nil
+				c.ops.Put(op)
+				k.Run(t)
+				return
+			}
+			op.state = cpuClaim
+		}
+	}
+}
+
+// UseThen consumes d of CPU time on behalf of t, competing with other
+// tasks for the processors, then runs k. The whole operation executes as
+// continuation steps on the event loop.
+func (c *CPUSet) UseThen(t *Task, d time.Duration, k Step) {
+	if d <= 0 {
+		k.Run(t)
+		return
+	}
+	op := c.ops.Get()
+	if op == nil {
+		op = &cpuUseOp{c: c}
+	}
+	op.remain, op.k, op.state = d, k, cpuClaim
+	op.Run(t)
+}
+
 // Use consumes d of CPU time on behalf of t, competing with other tasks
 // for the processors.
 func (c *CPUSet) Use(t *Task, d time.Duration) {
-	for d > 0 {
-		q := c.quantum
-		if d < q {
-			q = d
-		}
-		occupy := q
-		if c.dilation != nil {
-			if f := c.dilation(); f > 1 {
-				occupy = time.Duration(float64(q) * f)
-			}
-		}
-		c.sem.Acquire(t)
-		t.Sleep(occupy)
-		c.sem.Release()
-		c.busy += occupy
-		c.stall += occupy - q
-		d -= q
+	if d <= 0 {
+		return
 	}
+	t.Await(func(k Step) { c.UseThen(t, d, k) })
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench.sh — run the figure benchmarks and emit BENCH_PR3.json with
+# ns/op, allocs/op, and sim-events/sec per benchmark, plus the speedup
+# against the recorded pre-rewrite (PR 2) scheduler baselines.
+#
+# Usage:
+#   scripts/bench.sh                 # default benchmark set, 1 iteration
+#   BENCH=ClientSweep scripts/bench.sh
+#   COUNT=3 scripts/bench.sh         # average over 3 runs
+#   OUT=/tmp/bench.json scripts/bench.sh
+#
+# The seed baselines below were measured at commit 37c27ab (PR 2, the
+# goroutine-per-task scheduler) on the same host and load as the PR 3
+# "after" numbers recorded in BENCH_PR3.json; re-measure both on your
+# hardware before comparing absolute values.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-Figure2ThrottleTrace|Figure3Throughput30|ClientSweep}"
+COUNT="${COUNT:-1}"
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_PR3.json}"
+
+raw=$(go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee /dev/stderr)
+
+awk -v out="$OUT" '
+BEGIN {
+    # Pre-rewrite (PR 2, commit 37c27ab) baselines, ns/op.
+    seed["BenchmarkFigure3Throughput30"] = 936059000
+    seed["BenchmarkClientSweep"] = 1972694201
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")          ns[name]     += $(i-1) + 0
+        if ($i == "allocs/op")      allocs[name] += $(i-1) + 0
+        if ($i == "sim-events/sec") evs[name]    += $(i-1) + 0
+    }
+    runs[name]++
+}
+END {
+    printf "{\n  \"benchmarks\": [\n" > out
+    n = 0
+    for (name in runs) order[++n] = name
+    # Stable output order: sort names.
+    for (i = 1; i <= n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        r = runs[name]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"allocs_per_op\": %.0f, \"sim_events_per_sec\": %.0f", \
+            name, ns[name]/r, allocs[name]/r, evs[name]/r >> out
+        if (name in seed)
+            printf ", \"seed_ns_per_op\": %.0f, \"speedup_vs_seed\": %.2f", \
+                seed[name], seed[name]/(ns[name]/r) >> out
+        printf "}%s\n", (i < n ? "," : "") >> out
+    }
+    printf "  ]\n}\n" >> out
+}
+' <<<"$raw"
+
+echo "wrote $OUT" >&2
