@@ -56,6 +56,9 @@ func main() {
 	fmt.Printf("\nselected: %s (score %.3f)\n", best.Name, score)
 	fmt.Printf("  cache-reserve=%.2f slope=%.1f wait=%v grant-frac=%.2f\n",
 		best.CacheReserveFrac, best.SlowdownSlope, best.CompileTaskWait, best.ExecGrantLimitFrac)
+	fmt.Printf("  memo-scale=%.2f stages=%.1f/%.1f vas=%dMiB exhaustion=%.2f\n",
+		best.MemoBytesScale, best.StageCostingScale, best.StageCodegenScale,
+		best.VASBytes>>20, best.BrokerExhaustionFrac)
 
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(rep.CSV()), 0o644); err != nil {

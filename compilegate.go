@@ -88,6 +88,11 @@ type (
 	Server = engine.Server
 	// ServerConfig assembles a Server.
 	ServerConfig = engine.Config
+	// CompileStages is the staged compile-memory model: the bind /
+	// costing / codegen footprint a compilation wires beyond its
+	// exploration memo, ramped through the gateway ladder over the
+	// compilation's lifetime.
+	CompileStages = engine.CompileStages
 
 	// Catalog describes a database schema.
 	Catalog = catalog.Catalog
@@ -185,6 +190,11 @@ func NewServer(cfg ServerConfig, cat *Catalog, sched *Scheduler) (*Server, error
 
 // DefaultServerConfig reproduces the paper's testbed with throttling on.
 func DefaultServerConfig() ServerConfig { return engine.DefaultConfig() }
+
+// DefaultCompileStages returns the calibrated staged compile-memory
+// model (an order-of-magnitude lifetime ramp over the exploration
+// memo; see DESIGN.md, "Staged compile-memory model").
+func DefaultCompileStages() CompileStages { return engine.DefaultCompileStages() }
 
 // NewSalesCatalog builds the SALES data-mart schema at the given scale
 // (1.0 = the paper's 524 GB mart with a >400M-row fact table).

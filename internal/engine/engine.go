@@ -72,6 +72,12 @@ type Config struct {
 	// fetches, latching); it stretches compilations without saturating
 	// the processors, matching the paper's 10-90 s compile profile.
 	CompileTaskWait time.Duration
+	// CompileStages is the staged compile-memory model: the memory a
+	// compilation wires beyond the exploration memo, reserved as a ramp
+	// the monitor ladder can interpose on mid-compilation. The zero
+	// value adopts DefaultCompileStages; set Disabled to reproduce the
+	// flat pre-stage model.
+	CompileStages CompileStages
 	// ExecGrantLimitFrac caps total concurrent execution-grant memory as
 	// a fraction of physical memory.
 	ExecGrantLimitFrac float64
@@ -98,6 +104,68 @@ type Config struct {
 	MinBufferPool, MinCompile                                    int64
 }
 
+// CompileStages models the lifetime memory profile of one compilation
+// beyond the exploration memo — the staged compile-memory stock that
+// makes concurrent compilations, not slow ones, the resource problem:
+//
+//   - bind: a fixed footprint wired when the compilation opens
+//     (metadata caches, binding scratch);
+//   - join enumeration + costing: every memo charge carries
+//     CostingScale times its size in costing scratch (statistics,
+//     property derivation, costing contexts grow with the alternatives
+//     considered), so the footprint ramps across the compilation's
+//     whole 10-90 s lifetime rather than arriving at the end;
+//   - codegen: once exploration stops, the physical plan is built as a
+//     ramp of StepBytes reservations (StepTasks of optimizer work
+//     each), after which the costing scratch is released — a
+//     mid-compilation fall the broker's trend detector sees.
+//
+// All stage memory flows through Compilation.Alloc, so the gateway
+// ladder observes genuinely growing consumers and can block (or time
+// out) a compilation mid-flight at any threshold crossing — the
+// paper's gateway-chain mechanism.
+//
+// Single-table (point/diagnostic) queries skip the stages entirely:
+// their plans are trivial, which is what keeps them under the small
+// gateway's threshold — the paper's diagnostics-under-overload bypass.
+type CompileStages struct {
+	// Disabled reproduces the flat pre-stage model: compile memory is
+	// the exploration memo alone.
+	Disabled bool
+	// BindBytes is the parse/bind footprint wired when the compilation
+	// opens.
+	BindBytes int64
+	// CostingScale sizes costing scratch as a multiple of every memo
+	// charge; it is held until codegen completes.
+	CostingScale float64
+	// CodegenScale sizes the codegen phase (physical operator trees,
+	// runtime structures) as a multiple of the final memo bytes; it is
+	// held until the compilation closes.
+	CodegenScale float64
+	// StepBytes is the reservation granularity of the codegen ramp;
+	// each step passes through the gateway ladder.
+	StepBytes int64
+	// StepTasks is the optimizer work charged per codegen ramp step —
+	// the time cost of growing, which makes the ramp gate-friendly
+	// rather than an instantaneous reservation.
+	StepTasks int
+}
+
+// DefaultCompileStages returns the calibrated staged compile-memory
+// model (see EXPERIMENTS.md, "Calibration methodology — the unified
+// regime"): peak compile memory an order of magnitude above the
+// exploration memo, ramped over the compilation's lifetime in
+// gate-visible increments.
+func DefaultCompileStages() CompileStages {
+	return CompileStages{
+		BindBytes:    128 * mem.KiB,
+		CostingScale: 4,
+		CodegenScale: 5,
+		StepBytes:    16 * mem.MiB,
+		StepTasks:    6,
+	}
+}
+
 // DefaultConfig reproduces the paper's testbed with throttling fully
 // enabled.
 func DefaultConfig() Config {
@@ -116,6 +184,7 @@ func DefaultConfig() Config {
 		Optimizer:          optimizer.DefaultConfig(),
 		CompileTaskCPU:     1500 * time.Microsecond,
 		CompileTaskWait:    45 * time.Millisecond,
+		CompileStages:      DefaultCompileStages(),
 		ExecGrantLimitFrac: 0.45,
 		VASBytes:           0,
 		Pressure:           mem.DefaultPressureModel(),
@@ -195,6 +264,9 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 	if cfg.CPUQuantum <= 0 {
 		cfg.CPUQuantum = def.CPUQuantum
 	}
+	if cfg.CompileStages == (CompileStages{}) {
+		cfg.CompileStages = def.CompileStages
+	}
 	if cfg.ExecGrantLimitFrac <= 0 {
 		cfg.ExecGrantLimitFrac = def.ExecGrantLimitFrac
 	}
@@ -230,7 +302,7 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		budget:      mem.NewBudget(cfg.MemoryBytes),
 		cpu:         vtime.NewCPUSet(cfg.CPUs, cfg.CPUQuantum),
 		rec:         metrics.NewRecorder(cfg.SliceDur),
-		compileHist: metrics.NewHistogram(time.Second, 10*time.Second, 30*time.Second, 90*time.Second, 5*time.Minute),
+		compileHist: metrics.NewHistogram(time.Second, 10*time.Second, 30*time.Second, time.Minute, 75*time.Second, 90*time.Second, 2*time.Minute, 3*time.Minute, 5*time.Minute),
 		execHist:    metrics.NewHistogram(10*time.Second, 30*time.Second, time.Minute, 5*time.Minute, 10*time.Minute, 30*time.Minute),
 
 		poolTrace:          metrics.NewTrace("bufferpool"),
@@ -585,12 +657,67 @@ func (s *Server) compileWork(t *vtime.Task, tasks int) {
 	})
 }
 
-// compile optimizes q under the governor.
+// stageRamp wires total additional bytes onto the compilation in
+// StepBytes increments, charging StepTasks of optimizer work per step.
+// Every increment passes through Compilation.Alloc, so the gateway
+// ladder can block (or time out) the compiling task mid-ramp and the
+// broker's trend detector sees the footprint actually climb between
+// ticks. A failed step has already rolled the whole compilation back.
+func (s *Server) stageRamp(t *vtime.Task, comp *core.Compilation, total int64) error {
+	st := s.cfg.CompileStages
+	step := st.StepBytes
+	if step <= 0 {
+		step = total
+	}
+	for reserved := int64(0); reserved < total; {
+		n := step
+		if rest := total - reserved; n > rest {
+			n = rest
+		}
+		if err := comp.Alloc(n); err != nil {
+			return err
+		}
+		reserved += n
+		if st.StepTasks > 0 {
+			s.compileWork(t, st.StepTasks)
+		}
+	}
+	return nil
+}
+
+// compile optimizes q under the governor, walking the staged memory
+// phases: bind (fixed footprint) → join enumeration with costing
+// scratch accreting alongside every memo charge → codegen (a ramp
+// sized from the memo). Costing scratch is freed once codegen has
+// consumed it; everything else is released when the compilation
+// closes.
 func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 	comp := s.gov.Begin(t, "compile")
 	start := t.Now()
+	st := s.cfg.CompileStages
+	staged := !st.Disabled && len(q.Tables) > 1
+	if staged && st.BindBytes > 0 {
+		if err := comp.Alloc(st.BindBytes); err != nil {
+			return nil, err
+		}
+	}
+	charge := comp.Alloc
+	var costingHeld int64
+	if staged && st.CostingScale > 0 {
+		// Exploration's memory is memo plus costing scratch: the
+		// footprint the gateways see grows CostingScale+1 times as fast
+		// as the memo, across the compilation's whole lifetime.
+		charge = func(n int64) error {
+			extra := int64(st.CostingScale * float64(n))
+			if err := comp.Alloc(n + extra); err != nil {
+				return err
+			}
+			costingHeld += extra
+			return nil
+		}
+	}
 	p, err := s.opt.Optimize(q, optimizer.Hooks{
-		Charge:     comp.Alloc,
+		Charge:     charge,
 		Work:       func(tasks int) { s.compileWork(t, tasks) },
 		BestEffort: comp.ShouldYieldBestEffort,
 	})
@@ -600,12 +727,28 @@ func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 		comp.Abort()
 		return nil, err
 	}
+	if staged && !p.BestEffort {
+		if err := s.stageRamp(t, comp, int64(st.CodegenScale*float64(p.CompileBytes))); err != nil {
+			return nil, err
+		}
+		// Costing scratch is dead once the physical plan exists; the
+		// release mid-flight is what gives the broker a falling trend
+		// to track.
+		comp.Free(costingHeld)
+	}
+	// A best-effort plan skips the codegen ramp entirely: the §4.1
+	// valve yielded the held plan precisely because the broker predicts
+	// exhaustion, so the compilation must not grow further — otherwise
+	// the ramp could fail with the very out-of-memory error the valve
+	// exists to avoid.
+	peak := comp.Peak()
 	comp.Finish()
 	s.compileHist.Observe(t.Now() - start)
-	s.compileMemSum += p.CompileBytes
+	p.CompileBytes = peak
+	s.compileMemSum += peak
 	s.compileMemN++
-	if p.CompileBytes > s.compileMemMax {
-		s.compileMemMax = p.CompileBytes
+	if peak > s.compileMemMax {
+		s.compileMemMax = peak
 	}
 	return p, nil
 }

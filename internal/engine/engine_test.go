@@ -143,6 +143,56 @@ func TestCompileOOMClassified(t *testing.T) {
 	}
 }
 
+// compileOnce submits one statement on a fresh server and returns the
+// per-compilation peak memory the engine recorded.
+func compileOnce(t *testing.T, sql string, mutate func(*Config)) int64 {
+	t.Helper()
+	srv, sched := testServer(t, mutate)
+	sched.Go("client", func(tk *vtime.Task) {
+		if err := srv.Submit(tk, sql); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+		srv.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, peak := srv.CompileMemProfile()
+	return peak
+}
+
+// TestStagedCompilePeakArithmetic pins the staged stock model's shape:
+// with integral scales the peak is exactly bind + (1+costing+codegen) x
+// the exploration memo, and disabling the stages reproduces the flat
+// memo-only footprint.
+func TestStagedCompilePeakArithmetic(t *testing.T) {
+	sql := "SELECT COUNT(*) FROM sales_fact JOIN dim_date ON sales_fact.date_id = dim_date.date_id JOIN dim_store ON sales_fact.store_id = dim_store.store_id WHERE sales_fact.date_id BETWEEN 100 AND 200 GROUP BY dim_date.year"
+	flat := compileOnce(t, sql, func(c *Config) {
+		c.CompileStages.Disabled = true
+	})
+	staged := compileOnce(t, sql, nil)
+
+	st := DefaultCompileStages()
+	want := st.BindBytes + int64((1+st.CostingScale+st.CodegenScale)*float64(flat))
+	if staged != want {
+		t.Fatalf("staged peak = %d, want bind %d + %.0fx memo %d = %d",
+			staged, st.BindBytes, 1+st.CostingScale+st.CodegenScale, flat, want)
+	}
+	if staged < 9*flat {
+		t.Fatalf("staged stock %d not an order of magnitude above the memo %d", staged, flat)
+	}
+}
+
+// TestSingleTableQuerySkipsStages pins the diagnostics bypass: a point
+// query's compilation must stay below the small gate's 380 KiB
+// threshold, so the staged ramps may not apply to it.
+func TestSingleTableQuerySkipsStages(t *testing.T) {
+	peak := compileOnce(t, "SELECT * FROM dim_channel WHERE dim_channel.channel_id = 3", nil)
+	if peak >= 380<<10 {
+		t.Fatalf("point-query compile peak = %d bytes, must stay under the 380 KiB small gate", peak)
+	}
+}
+
 func TestThrottleDisabledHasNoChain(t *testing.T) {
 	srv, sched := testServer(t, func(c *Config) { c.Throttle = false })
 	if srv.Governor().Chain() != nil {

@@ -69,7 +69,13 @@ type Config struct {
 // the given CPU count: three monitors; four concurrent compilations per CPU
 // at the small gate; one per CPU at the medium gate; a single compilation
 // at the big gate. Thresholds are expressed against the given total
-// physical memory.
+// physical memory, sized to the staged compile-memory stock
+// (engine.CompileStages): an ad-hoc DSS compilation peaks near
+// totalMem/12 on average, so the medium gate catches the upper half of
+// that distribution and the big gate only its heaviest tail — on a
+// healthy machine the static ladder barely binds, and throttling comes
+// from the dynamic (broker-target-driven) thresholds shrinking under
+// pressure.
 func DefaultConfig(cpus int, totalMem int64) Config {
 	return Config{Levels: []LevelConfig{
 		{
@@ -80,21 +86,21 @@ func DefaultConfig(cpus int, totalMem int64) Config {
 		},
 		{
 			Name:           "medium",
-			Threshold:      totalMem / 96, // static fallback; dynamic in practice
+			Threshold:      totalMem / 16, // static fallback; dynamic in practice
 			Slots:          cpus,
 			Timeout:        12 * time.Minute,
 			Dynamic:        true,
 			TargetFraction: 0.45,
-			MinThreshold:   totalMem / 192,
+			MinThreshold:   totalMem / 96,
 		},
 		{
 			Name:           "big",
-			Threshold:      totalMem / 16,
+			Threshold:      totalMem / 6,
 			Slots:          1,
 			Timeout:        24 * time.Minute,
 			Dynamic:        true,
 			TargetFraction: 0.45,
-			MinThreshold:   totalMem / 32,
+			MinThreshold:   totalMem / 12,
 		},
 	}}
 }

@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// invariantWorld is the randomized-accounting fixture: a pressured
+// budget with every tracker flavor the engine uses — plain wired,
+// overcommitting (spills into swap), reclaimable caches with
+// registered reclaimers, and a grouped pair bounded by a sub-budget —
+// so the property test exercises the same paths the simulation does.
+type invariantWorld struct {
+	b        *Budget
+	group    *Group
+	trackers []*Tracker
+}
+
+func newInvariantWorld() *invariantWorld {
+	b := NewBudget(1 * GiB)
+	b.SetPressure(PressureModel{
+		Enabled:          true,
+		CommitFrac:       1.5,
+		CacheReserveFrac: 0.45,
+		SlowdownSlope:    14,
+		MaxSlowdown:      24,
+		StealFrac:        0.5,
+	})
+	w := &invariantWorld{b: b}
+
+	wired := b.NewTracker("wired")
+	spill := b.NewTracker("spill")
+	spill.AllowOvercommit()
+	cache := b.NewTracker("cache")
+	cache.MarkReclaimable()
+	b.RegisterReclaimer("cache", 1, func(want int64) int64 {
+		freed := want
+		if freed > cache.Used() {
+			freed = cache.Used()
+		}
+		cache.Release(freed)
+		return freed
+	})
+
+	w.group = b.NewGroup("vas", 512*MiB)
+	gwired := b.NewTracker("group-wired")
+	gwired.SetGroup(w.group)
+	gwired.AllowOvercommit()
+	gcache := b.NewTracker("group-cache")
+	gcache.SetGroup(w.group)
+	gcache.MarkReclaimable()
+	w.group.RegisterReclaimer("group-cache", 1, func(want int64) int64 {
+		freed := want
+		if freed > gcache.Used() {
+			freed = gcache.Used()
+		}
+		gcache.Release(freed)
+		return freed
+	})
+
+	limited := b.NewTracker("limited")
+	limited.SetLimit(64 * MiB)
+
+	w.trackers = []*Tracker{wired, spill, cache, gwired, gcache, limited}
+	return w
+}
+
+// check asserts every accounting invariant. Called after each op, it
+// turns one randomized walk into thousands of oracle checks.
+func (w *invariantWorld) check(t *testing.T, step int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Fatalf("step %d: %s", step, fmt.Sprintf(format, args...))
+	}
+
+	var sum, wired, reclaimable, groupSum int64
+	for _, tr := range w.trackers {
+		u := tr.Used()
+		if u < 0 {
+			fail("%s used = %d, negative", tr.Name(), u)
+		}
+		if tr.Peak() < u {
+			fail("%s peak %d below used %d", tr.Name(), tr.Peak(), u)
+		}
+		sum += u
+		if tr.Reclaimable() {
+			reclaimable += u
+		} else {
+			wired += u
+		}
+		if tr.Group() == w.group {
+			groupSum += u
+		}
+	}
+
+	if got := w.b.Used(); got != sum {
+		fail("budget used %d != tracker sum %d", got, sum)
+	}
+	if got := w.b.WiredBytes(); got != wired {
+		fail("wired %d != non-reclaimable sum %d", got, wired)
+	}
+	if wired < 0 || reclaimable < 0 {
+		fail("negative aggregate: wired=%d reclaimable=%d", wired, reclaimable)
+	}
+	// Conservation: everything reserved is wired or reclaimable, and the
+	// total never escapes the commit ceiling (physical + swap).
+	if wired+reclaimable != w.b.Used() {
+		fail("wired %d + reclaimable %d != used %d", wired, reclaimable, w.b.Used())
+	}
+	if w.b.Used() > w.b.CommitLimit() {
+		fail("used %d beyond commit limit %d", w.b.Used(), w.b.CommitLimit())
+	}
+	if w.b.Free() != w.b.Total()-w.b.Used() {
+		fail("free %d != total-used %d", w.b.Free(), w.b.Total()-w.b.Used())
+	}
+	if w.b.WiredPeak() < w.b.WiredBytes() {
+		fail("wired peak %d below wired %d", w.b.WiredPeak(), w.b.WiredBytes())
+	}
+
+	if got := w.group.Used(); got != groupSum {
+		fail("group used %d != member sum %d", got, groupSum)
+	}
+	if w.group.Used() > w.group.Cap() {
+		fail("group used %d beyond cap %d", w.group.Used(), w.group.Cap())
+	}
+	if w.group.Peak() < w.group.Used() {
+		fail("group peak %d below used %d", w.group.Peak(), w.group.Used())
+	}
+
+	if s := w.b.Slowdown(); s < 1 {
+		fail("slowdown %f below 1", s)
+	} else if want := w.b.Pressure().Slowdown(w.b.OvercommitRatio()); s != want {
+		fail("slowdown %f != model(%f) = %f", s, w.b.OvercommitRatio(), want)
+	}
+	if over := w.b.WiredOverBytes(); over < 0 {
+		fail("wired overshoot %d negative", over)
+	}
+}
+
+// TestInvariantRandomizedAccounting drives the budget through
+// randomized reserve / spill / release sequences and asserts after
+// every operation that no counter goes negative, totals conserve, the
+// group sub-budget agrees with its members, and the commit ceiling
+// holds. Failed reservations must leave the accounting untouched.
+func TestInvariantRandomizedAccounting(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			w := newInvariantWorld()
+			w.check(t, -1)
+			for step := 0; step < 3000; step++ {
+				tr := w.trackers[rng.Intn(len(w.trackers))]
+				switch op := rng.Intn(10); {
+				case op < 6: // reserve, occasionally huge to force reclaim/OOM
+					var n int64
+					if rng.Intn(8) == 0 {
+						n = rng.Int63n(600 * MiB)
+					} else {
+						n = rng.Int63n(32 * MiB)
+					}
+					before := tr.Used()
+					if err := tr.Reserve(n); err != nil {
+						if !errors.Is(err, ErrOutOfMemory) {
+							t.Fatalf("step %d: unexpected error kind %v", step, err)
+						}
+						// A failed reserve may have run reclaimers (which
+						// shrink caches), but must not move the reserving
+						// tracker itself — unless it is a cache its own
+						// reclaimer stole from.
+						if !tr.Reclaimable() && tr.Used() != before {
+							t.Fatalf("step %d: failed reserve moved %s from %d to %d",
+								step, tr.Name(), before, tr.Used())
+						}
+					}
+				case op < 9: // release a random fraction of the holding
+					if u := tr.Used(); u > 0 {
+						tr.Release(rng.Int63n(u) + 1)
+					}
+				default: // release everything
+					if freed := tr.ReleaseAll(); freed < 0 || tr.Used() != 0 {
+						t.Fatalf("step %d: ReleaseAll freed %d, left %d", step, freed, tr.Used())
+					}
+				}
+				w.check(t, step)
+			}
+			// Drain: a full unwind must return the budget to zero.
+			for _, tr := range w.trackers {
+				tr.ReleaseAll()
+			}
+			w.check(t, 3001)
+			if w.b.Used() != 0 || w.b.WiredBytes() != 0 {
+				t.Fatalf("drained budget leaks: used=%d wired=%d", w.b.Used(), w.b.WiredBytes())
+			}
+		})
+	}
+}

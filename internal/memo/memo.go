@@ -66,14 +66,16 @@ type Config struct {
 	BytesPerExpr  int64
 }
 
-// DefaultConfig matches the calibration in DESIGN.md: a 20-join SALES
-// compilation exploring tens of thousands of alternatives reaches
-// hundreds of simulated MiB — the "several medium/large concurrent ad hoc
-// compilations" regime the paper identifies.
+// DefaultConfig matches the calibration in DESIGN.md: the memo is the
+// *exploration* share of compile memory — a large SALES compilation
+// reaches ~100 simulated MiB of memo, and the engine's staged
+// costing/codegen phases (engine.CompileStages) multiply that into the
+// several-hundred-MiB peak footprint of the "several medium/large
+// concurrent ad hoc compilations" regime the paper identifies.
 func DefaultConfig() Config {
 	return Config{
-		BytesPerGroup: 96 << 10, // 96 KiB
-		BytesPerExpr:  48 << 10, // 48 KiB
+		BytesPerGroup: 32 << 10, // 32 KiB
+		BytesPerExpr:  16 << 10, // 16 KiB
 	}
 }
 

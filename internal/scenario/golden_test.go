@@ -1,48 +1,110 @@
 package scenario
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
 
-// TestSchedulerGoldenDigest pins the end-to-end results of a full
-// scenario run to the values produced by the seed (goroutine-per-task)
-// scheduler, proving the event-loop rewrite preserves run-queue ordering
-// — and therefore virtual timestamps and every derived metric — exactly.
+// update re-records testdata/golden.txt. Run
 //
-// The digest covers both arms of the Figure 3 comparison on the
-// compressed benchmark window: completions, errors, the compile and
-// execution latency medians, and the throttled/baseline throughput
-// ratio. Any scheduler change that reorders events, however slightly,
-// shifts gate-timeout timing and shows up here.
+//	go test ./internal/scenario -run TestRegistryGoldenDigests -update
 //
-// Recorded against commit 37c27ab (PR 2), before the event-loop rewrite.
-func TestSchedulerGoldenDigest(t *testing.T) {
-	s := Sales(30).WithWindow(2*time.Hour, 30*time.Minute)
-	results := RunSweep([]Scenario{s, s.Baseline()}, 0)
+// after an *intentional* model or calibration change; any other diff is
+// a determinism regression.
+var update = flag.Bool("update", false, "re-record golden scenario digests")
+
+// goldenWindow compresses long-horizon scenarios so the golden sweep
+// stays test-sized: everything above two hours runs the benchmark
+// window (2 h measured from 30 min), shorter scenarios run as
+// registered.
+func goldenWindow(s Scenario) Scenario {
+	if s.Horizon > 2*time.Hour {
+		return s.WithWindow(2*time.Hour, 30*time.Minute)
+	}
+	return s
+}
+
+// digest summarizes one run's observable results. Every field is a
+// deterministic function of the scheduler's event order, so any change
+// to scheduling, the memory model, or the workload shows up here.
+func digest(sr SweepResult) string {
+	if sr.Err != nil {
+		return fmt.Sprintf("error=%v", sr.Err)
+	}
+	r := sr.Result
+	return fmt.Sprintf(
+		"completed=%d errors=%d compile-p50=%v exec-p50=%v submitted=%d retries=%d gateway-timeouts=%d best-effort=%d overcommit-permille=%d",
+		r.Completed, r.Errors, r.CompileP50, r.ExecP50,
+		r.Load.Submitted, r.Load.Retries, r.GatewayTimeouts, r.BestEffortPlans,
+		int64(r.AvgOvercommitRatio*1000))
+}
+
+const goldenPath = "testdata/golden.txt"
+
+// TestRegistryGoldenDigests pins the end-to-end results of every
+// registered scenario. It is the repository's determinism contract: a
+// refactor that claims to preserve behavior must reproduce every line
+// byte-for-byte, and an intentional model change must re-record the
+// file with -update (and say so in its commit).
+func TestRegistryGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	all := All()
+	scenarios := make([]Scenario, len(all))
+	for i, s := range all {
+		scenarios[i] = goldenWindow(s)
+	}
+	results := RunSweep(scenarios, 0)
+
+	var sb strings.Builder
 	for _, sr := range results {
-		if sr.Err != nil {
-			t.Fatalf("%s: %v", sr.Scenario.Name, sr.Err)
+		fmt.Fprintf(&sb, "%s: %s\n", sr.Scenario.Name, digest(sr))
+	}
+	got := sb.String()
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden digests to %s", len(results), goldenPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden file (run with -update to record): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report per-scenario so a diff names the regressed experiments.
+	wantLines := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSuffix(string(want), "\n"), "\n") {
+		if name, rest, ok := strings.Cut(line, ": "); ok {
+			wantLines[name] = rest
 		}
 	}
-	th, ba := results[0].Result, results[1].Result
-
-	ratio := float64(th.Completed) / float64(ba.Completed)
-	digest := fmt.Sprintf(
-		"throttled: completed=%d errors=%d compile-p50=%v exec-p50=%v submitted=%d retries=%d\n"+
-			"baseline: completed=%d errors=%d compile-p50=%v exec-p50=%v submitted=%d retries=%d\n"+
-			"ratio=%.6f",
-		th.Completed, th.Errors, th.CompileP50, th.ExecP50, th.Load.Submitted, th.Load.Retries,
-		ba.Completed, ba.Errors, ba.CompileP50, ba.ExecP50, ba.Load.Submitted, ba.Load.Retries,
-		ratio)
-
-	const golden = "" +
-		"throttled: completed=187 errors=11 compile-p50=25m35.787306769s exec-p50=5m0s submitted=272 retries=11\n" +
-		"baseline: completed=138 errors=1 compile-p50=33m59.130615437s exec-p50=10m0s submitted=195 retries=1\n" +
-		"ratio=1.355072"
-
-	if digest != golden {
-		t.Errorf("scenario digest diverged from the pre-rewrite scheduler:\ngot:\n%s\nwant:\n%s", digest, golden)
+	for _, sr := range results {
+		d := digest(sr)
+		w, ok := wantLines[sr.Scenario.Name]
+		switch {
+		case !ok:
+			t.Errorf("%s: no golden digest recorded (run -update)", sr.Scenario.Name)
+		case d != w:
+			t.Errorf("%s diverged:\ngot:  %s\nwant: %s", sr.Scenario.Name, d, w)
+		}
+		delete(wantLines, sr.Scenario.Name)
+	}
+	for name := range wantLines {
+		t.Errorf("%s: golden digest recorded but scenario no longer registered", name)
 	}
 }

@@ -138,18 +138,25 @@ func init() {
 	Default.MustRegister(mix)
 
 	// §4.1's best-effort plans on a starved machine, plus the
-	// plain-OOM twin.
+	// plain-OOM twin. The smaller machine keeps the 32-bit *default*
+	// user VAS (2 GB, no extended-VAS boot switch), so compilations
+	// exhaust the address space early and the exhaustion signal fires
+	// constantly — exactly the regime best-effort plans exist for.
+	starved := func(c *engine.Config) {
+		c.MemoryBytes = 2 * mem.GiB
+		c.VASBytes = 1792 * mem.MiB
+	}
 	be := Sales(30)
 	be.Name = "best-effort"
 	be.Description = "§4.1 best-effort plans under memory exhaustion (2 GiB machine)"
-	be.Engine = calibrated(func(c *engine.Config) { c.MemoryBytes = 2 * mem.GiB })
+	be.Engine = calibrated(starved)
 	Default.MustRegister(be)
 
 	beOff := Sales(30)
 	beOff.Name = "best-effort-off"
 	beOff.Description = "best-effort disabled: exhausted compilations fail with OOM"
 	beOff.Engine = calibrated(func(c *engine.Config) {
-		c.MemoryBytes = 2 * mem.GiB
+		starved(c)
 		c.BestEffort = false
 	})
 	Default.MustRegister(beOff)

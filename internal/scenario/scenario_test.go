@@ -176,6 +176,41 @@ func TestSweepMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerCountInvariance is the full-registry determinism
+// guard: running every registered scenario through RunSweep with
+// workers=1 and with workers=N must produce byte-identical results —
+// same measurements, same rendered reports — because each run owns a
+// private scheduler and shares no mutable state. It extends the
+// four-scenario serial-vs-parallel probe (TestSweepMatchesSerial)
+// across the whole registry, guarding scheduler determinism under the
+// staged compile-memory model.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	all := All()
+	scenarios := make([]Scenario, len(all))
+	for i, s := range all {
+		scenarios[i] = goldenWindow(s)
+	}
+	one := RunSweep(scenarios, 1)
+	many := RunSweep(scenarios, 0)
+	for i := range scenarios {
+		name := scenarios[i].Name
+		if one[i].Err != nil || many[i].Err != nil {
+			t.Fatalf("%s: errs %v vs %v", name, one[i].Err, many[i].Err)
+		}
+		if one[i].Result.Report != many[i].Result.Report {
+			t.Errorf("%s: report diverges between workers=1 and workers=N:\n%s\nvs\n%s",
+				name, one[i].Result.Report, many[i].Result.Report)
+			continue
+		}
+		if !reflect.DeepEqual(one[i].Result, many[i].Result) {
+			t.Errorf("%s: results differ between workers=1 and workers=N", name)
+		}
+	}
+}
+
 func TestSweepWorkerBounds(t *testing.T) {
 	s, _ := Get("quickstart")
 	// workers > len, workers = 1, workers <= 0 all behave.

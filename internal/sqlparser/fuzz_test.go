@@ -1,0 +1,78 @@
+package sqlparser
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds is the seed corpus: every statement shape the simulated
+// workloads emit (star joins, aggregates, predicates, comments as
+// cache-defeating uniquifiers, OLTP point lookups) plus malformed and
+// adversarial inputs. The same seeds are mirrored under
+// testdata/fuzz/FuzzLexerPooling.
+var fuzzSeeds = []string{
+	"SELECT * FROM dim_channel WHERE dim_channel.channel_id = 3",
+	"SELECT COUNT(*) FROM sales_fact JOIN dim_date ON sales_fact.date_id = dim_date.date_id WHERE sales_fact.date_id BETWEEN 100 AND 200 GROUP BY dim_date.year",
+	"SELECT SUM(sales_fact.amount), AVG(sales_fact.qty) FROM sales_fact INNER JOIN dim_store ON sales_fact.store_id = dim_store.store_id GROUP BY dim_store.region",
+	"/* u172 */ SELECT * FROM dim_product WHERE dim_product.sku >= 17",
+	"-- probe\nSELECT MAX(t.v) FROM t WHERE t.v <= 9",
+	"select a.x from a join b on a.id = b.id join c on b.id = c.id",
+	"SELECT * FROM",
+	"DELETE FROM x",
+	"SELECT 'unterminated FROM t",
+	"SELECT * FROM t WHERE t.a = ",
+	"",
+	"SELECT \u2603 FROM t WHERE t.a = -42",
+}
+
+// lexTokens lexes sql on l and copies out the token stream (the pooled
+// lexer's buffer is reused, so the copy keeps the comparison honest).
+func lexTokens(l *lexer, sql string) []token {
+	l.lex(sql)
+	return append([]token(nil), l.src...)
+}
+
+// FuzzLexerPooling proves the pooled, keyword-interning lexer is
+// observationally identical to a fresh one: the same token stream for
+// any input regardless of what the pooled lexer processed before, the
+// same Parse outcome, and a Fingerprint that is stable across pooling
+// churn. Run with `go test -fuzz=FuzzLexerPooling ./internal/sqlparser`
+// to explore beyond the seed corpus.
+func FuzzLexerPooling(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		fpBefore := Fingerprint(sql)
+
+		fresh := lexTokens(&lexer{}, sql)
+
+		// Dirty the pool: cycle a lexer through an unrelated statement so
+		// the pooled path runs on reused, previously-filled buffers.
+		_, _ = Parse("SELECT COUNT(*) FROM sales_fact JOIN dim_date ON sales_fact.date_id = dim_date.date_id GROUP BY dim_date.year")
+		l := lexerPool.Get().(*lexer)
+		pooled := lexTokens(l, sql)
+		l.src = l.src[:0]
+		l.pos = 0
+		lexerPool.Put(l)
+
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Fatalf("pooled lexer diverges from fresh lexer on %q:\nfresh:  %#v\npooled: %#v",
+				sql, fresh, pooled)
+		}
+
+		// Parse must be deterministic through the pool too.
+		q1, err1 := Parse(sql)
+		q2, err2 := Parse(sql)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Parse flapped on %q: %v vs %v", sql, err1, err2)
+		}
+		if err1 == nil && !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("Parse results differ on %q:\n%#v\nvs\n%#v", sql, q1, q2)
+		}
+
+		if fp := Fingerprint(sql); fp != fpBefore {
+			t.Fatalf("Fingerprint unstable across pooling on %q: %s vs %s", sql, fpBefore, fp)
+		}
+	})
+}

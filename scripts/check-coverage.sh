@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Coverage floors for the packages the staged compile-memory model
+# lives in: new engine/mem paths cannot land untested. Floors sit a few
+# points below the measured coverage at the time they were set, so they
+# trip on real regressions, not on refactoring noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+declare -A floors=(
+  ["./internal/engine"]=78
+  ["./internal/mem"]=82
+)
+
+fail=0
+for pkg in "${!floors[@]}"; do
+  out=$(go test -cover "$pkg" | tail -n 1)
+  # `|| true`: a missing coverage line must reach the diagnostic below,
+  # not silently kill the script through set -e.
+  pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' || true)
+  if [ -z "$pct" ]; then
+    echo "coverage: could not parse output for $pkg: $out" >&2
+    fail=1
+    continue
+  fi
+  floor=${floors[$pkg]}
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "coverage: $pkg at ${pct}% — below the ${floor}% floor" >&2
+    fail=1
+  else
+    echo "coverage: $pkg at ${pct}% (floor ${floor}%)"
+  fi
+done
+exit $fail
