@@ -189,6 +189,28 @@ func BenchmarkFigure4Throughput35(b *testing.B) { throughputFigure(b, 35) }
 // BenchmarkFigure5Throughput40 reproduces Figure 5 (40 clients).
 func BenchmarkFigure5Throughput40(b *testing.B) { throughputFigure(b, 40) }
 
+// BenchmarkFigure5Collapse40 runs the timer-heaviest registry scenario:
+// the Figure 5 pair at 40 clients, where the unthrottled baseline
+// collapses into the OOM-retry spiral — peak live-timer density (codegen
+// ramp steps, grant retries, client retry backoffs, pager ticks all in
+// flight) and therefore the scheduler's worst case. Tracked separately
+// from the figure benchmarks so timer-wheel regressions surface on the
+// scenario that stresses the wheel hardest.
+func BenchmarkFigure5Collapse40(b *testing.B) {
+	meter := startSimMeter(b)
+	for i := 0; i < b.N; i++ {
+		s := registered(b, "figure5")
+		res := mustSweep(b, s, s.Baseline())
+		meter.add(res...)
+		ratio, _ := harness.Compare(res[0], res[1])
+		b.ReportMetric(float64(res[0].Completed), "throttled-completions")
+		b.ReportMetric(float64(res[1].Completed), "baseline-completions")
+		b.ReportMetric(ratio, "throughput-ratio")
+		b.ReportMetric(float64(res[1].Errors), "baseline-errors")
+	}
+	meter.report(b)
+}
+
 // BenchmarkClientSweep reproduces the §5.2 observation that 30 clients is
 // the maximum-throughput point: fewer clients yield less throughput, more
 // clients saturate the server. All four populations run concurrently.

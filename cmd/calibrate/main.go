@@ -11,10 +11,12 @@
 // Usage:
 //
 //	calibrate [-quick] [-workers N] [-seed S] [-csv out.csv] [-md out.md]
+//	          [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -quick compresses the measurement window (90 min instead of 3 h) so
 // the whole grid finishes in well under a minute; use the full window
-// before trusting a new calibration.
+// before trusting a new calibration. The profile flags capture the grid
+// under pprof (see DESIGN.md, "Profiling a run").
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"compilegate"
+	"compilegate/internal/profiling"
 )
 
 func main() {
@@ -32,7 +35,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	csvPath := flag.String("csv", "", "write the full grid as CSV to this path")
 	mdPath := flag.String("md", "", "write per-knob-set markdown tables to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	cal := compilegate.DefaultCalibration()
 	cal.Workers = *workers

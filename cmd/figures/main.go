@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"compilegate"
+	"compilegate/internal/profiling"
 )
 
 func main() {
@@ -33,7 +34,16 @@ func main() {
 	scen := flag.String("scenario", "", "run one registered scenario (with its baseline) instead of a figure")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	if *list {
 		fmt.Print(compilegate.ListScenarios())

@@ -109,6 +109,13 @@ type Broker struct {
 	components []*Component
 	ticks      uint64
 	pressured  uint64 // ticks that detected pressure
+
+	// Per-tick scratch, reused so the fixed-cadence housekeeping tick
+	// allocates nothing in steady state.
+	predScratch     []int64
+	targetScratch   []int64
+	entitledScratch []int64
+	overScratch     []bool
 }
 
 // Component is one registered memory consumer.
@@ -186,7 +193,10 @@ func (b *Broker) Tick(now time.Duration) {
 	b.ticks++
 
 	// 1. Sample and predict.
-	predicted := make([]int64, len(b.components))
+	if cap(b.predScratch) < len(b.components) {
+		b.predScratch = make([]int64, len(b.components))
+	}
+	predicted := b.predScratch[:len(b.components)]
 	var usedByComponents, predictedTotal int64
 	for i, c := range b.components {
 		u := c.usage()
@@ -252,12 +262,16 @@ func (b *Broker) Tick(now time.Duration) {
 // proportion to their weights.
 func (b *Broker) computeTargets(available int64, predicted []int64) []int64 {
 	n := len(b.components)
-	targets := make([]int64, n)
+	if cap(b.targetScratch) < n {
+		b.targetScratch = make([]int64, n)
+		b.entitledScratch = make([]int64, n)
+		b.overScratch = make([]bool, n)
+	}
+	targets, entitled, over := b.targetScratch[:n], b.entitledScratch[:n], b.overScratch[:n]
 	var weightSum float64
 	for _, c := range b.components {
 		weightSum += c.weight
 	}
-	entitled := make([]int64, n)
 	for i, c := range b.components {
 		e := int64(float64(available) * c.weight / weightSum)
 		if e < c.min {
@@ -270,8 +284,8 @@ func (b *Broker) computeTargets(available int64, predicted []int64) []int64 {
 	// need (respecting floors); record surplus and over-demanders.
 	var surplus int64
 	var overWeight float64
-	over := make([]bool, n)
 	for i, c := range b.components {
+		over[i] = false
 		want := predicted[i]
 		if want < c.min {
 			want = c.min

@@ -51,6 +51,9 @@ type frame struct {
 	key    storage.ExtentKey
 	ref    bool
 	pinned int
+	// Intrusive circular CLOCK ring links (insertion order), so evicting
+	// a frame is an O(1) unlink instead of a slice scan-and-shift.
+	cprev, cnext *frame
 }
 
 // Pool is the buffer pool.
@@ -60,8 +63,13 @@ type Pool struct {
 	disk    *vtime.Semaphore
 
 	frames map[storage.ExtentKey]*frame
-	clock  []*frame // ring
-	hand   int
+	// CLOCK ring state: clockFirst marks the ring's seam (new frames are
+	// inserted just before it, matching the old slice's append-at-end);
+	// clockHand is the next sweep candidate, nil meaning "at the seam" —
+	// the state the old slice encoded as hand == len, where a frame
+	// admitted before the next sweep is visited first.
+	clockFirst *frame
+	clockHand  *frame
 
 	target int64 // broker target; 0 = unlimited (budget still binds)
 
@@ -306,7 +314,7 @@ func (p *Pool) admit(t *vtime.Task, key storage.ExtentKey) {
 			// Reuse the freed reservation for the new frame.
 			f := p.newFrame(key)
 			p.frames[key] = f
-			p.clock = append(p.clock, f)
+			p.clockInsert(f)
 			return
 		}
 		p.passthrough++
@@ -314,21 +322,25 @@ func (p *Pool) admit(t *vtime.Task, key storage.ExtentKey) {
 	}
 	f := p.newFrame(key)
 	p.frames[key] = f
-	p.clock = append(p.clock, f)
+	p.clockInsert(f)
 }
 
 // victim runs the CLOCK sweep and returns an evictable frame (or nil).
 func (p *Pool) victim() *frame {
-	n := len(p.clock)
+	n := len(p.frames)
 	if n == 0 {
 		return nil
 	}
 	for sweep := 0; sweep < 2*n; sweep++ {
-		if p.hand >= len(p.clock) {
-			p.hand = 0
+		if p.clockHand == nil {
+			p.clockHand = p.clockFirst // wrap at the seam
 		}
-		f := p.clock[p.hand]
-		p.hand++
+		f := p.clockHand
+		if f.cnext == p.clockFirst {
+			p.clockHand = nil // advanced past the tail: back at the seam
+		} else {
+			p.clockHand = f.cnext
+		}
 		if f.pinned > 0 {
 			continue
 		}
@@ -341,19 +353,55 @@ func (p *Pool) victim() *frame {
 	return nil
 }
 
+// clockInsert links f into the ring just before the seam — the position
+// the old slice implementation's append-at-end gave a new frame. A hand
+// resting at the seam moves onto f: the slice encoded that state as
+// hand == len, where an append landed exactly at the hand's index and
+// was therefore the next sweep candidate.
+func (p *Pool) clockInsert(f *frame) {
+	if p.clockFirst == nil {
+		f.cprev, f.cnext = f, f
+		p.clockFirst = f
+		p.clockHand = f
+		return
+	}
+	last := p.clockFirst.cprev
+	f.cprev, f.cnext = last, p.clockFirst
+	last.cnext = f
+	p.clockFirst.cprev = f
+	if p.clockHand == nil {
+		p.clockHand = f
+	}
+}
+
+// clockRemove unlinks f in O(1), keeping the hand on the element that
+// followed f (or at the seam when f was the tail) — exactly where the
+// slice implementation's index adjustment left it.
+func (p *Pool) clockRemove(f *frame) {
+	if p.clockHand == f {
+		if f.cnext == p.clockFirst {
+			p.clockHand = nil
+		} else {
+			p.clockHand = f.cnext
+		}
+	}
+	if f.cnext == f {
+		p.clockFirst, p.clockHand = nil, nil
+	} else {
+		f.cprev.cnext = f.cnext
+		f.cnext.cprev = f.cprev
+		if p.clockFirst == f {
+			p.clockFirst = f.cnext
+		}
+	}
+	f.cprev, f.cnext = nil, nil
+}
+
 // drop removes a frame from the pool structures (not the tracker) and
 // recycles it.
 func (p *Pool) drop(f *frame) {
 	delete(p.frames, f.key)
-	for i, c := range p.clock {
-		if c == f {
-			p.clock = append(p.clock[:i], p.clock[i+1:]...)
-			if p.hand > i {
-				p.hand--
-			}
-			break
-		}
-	}
+	p.clockRemove(f)
 	p.evictions++
 	p.frameFree.Put(f)
 }

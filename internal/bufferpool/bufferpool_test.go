@@ -276,3 +276,34 @@ func TestQuickPoolInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestClockSeamInsertVisitedFirst pins the CLOCK ring's seam semantics
+// to the original slice implementation: when the hand has advanced past
+// the tail (hand == len in slice terms), a frame admitted before the
+// next sweep sits exactly at the hand's position and must be the next
+// sweep candidate — not the ring head. Minimal divergence sequence:
+// admit a, b; pin a; evict (skips pinned a, takes b, hand ends at the
+// seam); admit c; unpin a; the next victim must be c.
+func TestClockSeamInsertVisitedFirst(t *testing.T) {
+	b := mem.NewBudget(10_000)
+	p := New(testCfg(), b.NewTracker("bp"))
+	mk := func(i int64) *frame {
+		f := &frame{key: key(i)}
+		p.frames[f.key] = f
+		p.clockInsert(f)
+		return f
+	}
+	a := mk(1)
+	mk(2)
+	a.pinned = 1
+	v := p.victim()
+	if v == nil || v.key != key(2) {
+		t.Fatalf("first victim = %v, want frame 2 (frame 1 is pinned)", v)
+	}
+	p.drop(v)
+	c := mk(3)
+	a.pinned = 0
+	if v := p.victim(); v != c {
+		t.Fatalf("victim after seam insert = %v, want the just-admitted frame 3", v.key)
+	}
+}

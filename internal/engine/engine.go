@@ -199,6 +199,48 @@ func DefaultConfig() Config {
 	}
 }
 
+// StmtID is the derived identity of one statement text: its plan-cache
+// fingerprint and the execution-locality seed. Both are pure functions
+// of the text.
+type StmtID struct {
+	Fingerprint string
+	Seed        int64
+}
+
+// StaticStatements maps statement text to its precomputed identity. A
+// run snapshot builds one per workload shape (the OLTP point-query pool)
+// and shares it read-only across every run of that shape, so recurring
+// statements are never parsed or hashed again.
+type StaticStatements map[string]StmtID
+
+// PrepareStatements derives identities for a closed statement set.
+// Texts that do not parse are skipped — they keep the parse-first error
+// behaviour when submitted.
+func PrepareStatements(sqls []string) StaticStatements {
+	out := make(StaticStatements, len(sqls))
+	for _, sql := range sqls {
+		if _, err := sqlparser.Parse(sql); err != nil {
+			continue
+		}
+		fp := sqlparser.Fingerprint(sql)
+		out[sql] = StmtID{Fingerprint: fp, Seed: int64(sqlparser.Hash64(fp))}
+	}
+	return out
+}
+
+// Prebuilt carries immutable, shareable components a run snapshot built
+// once for a scenario shape. Every field is optional; NewShared builds
+// whatever is missing. All fields are read-only after construction, so
+// one Prebuilt may back any number of concurrent servers.
+type Prebuilt struct {
+	// Estimator is the statistics/cardinality layer over the catalog.
+	Estimator *stats.Estimator
+	// Layout maps the catalog onto the extent address space.
+	Layout *storage.Layout
+	// Statements is the workload's pre-fingerprinted recurring set.
+	Statements StaticStatements
+}
+
 // Server is the simulated DBMS instance.
 type Server struct {
 	cfg    Config
@@ -233,7 +275,10 @@ type Server struct {
 
 	// Hot-path caches and free lists (one scheduler per server, no
 	// locking): statement-text identity memo, pooled execution-locality
-	// sources, recycled compile-work continuation ops.
+	// sources, recycled compile-work continuation ops. static is the
+	// snapshot's shared read-only identity map, consulted before the
+	// per-run memo.
+	static    StaticStatements
 	queryMemo map[string]queryInfo
 	rngs      freelist.List[rand.Rand]
 	workOps   freelist.List[compileWorkOp]
@@ -245,6 +290,15 @@ type Server struct {
 // fixed overhead, wires broker components and reclaimers, and starts the
 // housekeeping task (stop it with Close when the workload drains).
 func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, error) {
+	return NewShared(cfg, cat, Prebuilt{}, sched)
+}
+
+// NewShared is New over snapshot-shared immutable components: the
+// estimator, storage layout, and static statement identities in pre are
+// used as-is instead of being rebuilt per run (missing ones are built
+// here). Only mutable engine state — budget, pools, caches, metrics —
+// is constructed per server.
+func NewShared(cfg Config, cat *catalog.Catalog, pre Prebuilt, sched *vtime.Scheduler) (*Server, error) {
 	def := DefaultConfig()
 	if cfg.CPUs <= 0 {
 		cfg.CPUs = def.CPUs
@@ -295,6 +349,12 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		return nil, fmt.Errorf("engine: buffer pool extent %d != catalog extent %d",
 			cfg.BufferPool.ExtentBytes, cat.ExtentBytes)
 	}
+	if pre.Estimator != nil && pre.Estimator.Catalog() != cat {
+		return nil, fmt.Errorf("engine: prebuilt estimator belongs to a different catalog")
+	}
+	if pre.Layout != nil && pre.Layout.Catalog() != cat {
+		return nil, fmt.Errorf("engine: prebuilt layout belongs to a different catalog")
+	}
 
 	s := &Server{
 		cfg:         cfg,
@@ -311,6 +371,7 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		activeCompileTrace: metrics.NewTrace("active-compiles"),
 		overcommitTrace:    metrics.NewTrace("overcommit-permille"),
 
+		static:    pre.Statements,
 		queryMemo: make(map[string]queryInfo),
 	}
 	if cfg.Pressure.Enabled {
@@ -344,7 +405,10 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 	cacheTracker := inVAS(s.budget.NewTracker("plancache"))
 	cacheTracker.MarkReclaimable()
 	s.cache = plancache.New(cacheTracker)
-	s.layout = storage.NewLayout(cat)
+	s.layout = pre.Layout
+	if s.layout == nil {
+		s.layout = storage.NewLayout(cat)
+	}
 
 	govOpts := core.Options{
 		Enabled:           cfg.Throttle,
@@ -385,7 +449,10 @@ func New(cfg Config, cat *catalog.Catalog, sched *vtime.Scheduler) (*Server, err
 		s.exec.SetPressure(s.budget.Slowdown)
 	}
 
-	est := stats.NewEstimator(cat)
+	est := pre.Estimator
+	if est == nil {
+		est = stats.NewEstimator(cat)
+	}
 	s.opt = optimizer.New(est, cfg.Optimizer)
 
 	// Reclaimers: only the plan cache yields memory synchronously (it is
@@ -544,7 +611,15 @@ func (s *Server) putRNG(r *rand.Rand) {
 // Submit runs one query end to end on behalf of the calling task. The
 // returned error (if any) has already been recorded in the metrics.
 func (s *Server) Submit(t *vtime.Task, sql string) error {
-	info, seen := s.queryMemo[sql]
+	var info queryInfo
+	var seen bool
+	if id, ok := s.static[sql]; ok {
+		// Snapshot-shared identity: the statement's fingerprint and seed
+		// were derived once for the workload shape; nothing to memoize.
+		info, seen = queryInfo{fp: id.Fingerprint, seed: id.Seed}, true
+	} else {
+		info, seen = s.queryMemo[sql]
+	}
 	var q *plan.Query
 	if !seen {
 		var err error

@@ -40,6 +40,12 @@ type Options struct {
 	Engine *engine.Config
 	// Load overrides the default load config when non-nil.
 	Load *workload.LoadConfig
+	// Snapshot, when non-nil, supplies the shared immutable run state
+	// (catalog, estimator, layout, statement identities) instead of the
+	// process-wide cache. Its shape must match Workload and Scale. Runs
+	// produce byte-identical results with shared, private, or absent
+	// snapshots; the field exists for tests proving exactly that.
+	Snapshot *Snapshot
 }
 
 // DefaultOptions returns the SALES configuration at the given client
@@ -150,9 +156,16 @@ func Run(o Options) (*Result, error) {
 		ecfg.BestEffort = false
 	}
 
+	snap := o.Snapshot
+	if snap == nil {
+		snap = SnapshotFor(o.Workload, o.Scale)
+	} else if snap.Workload.String() != o.Workload.String() || snap.Scale != o.Scale {
+		return nil, fmt.Errorf("harness: snapshot shape %s/%g does not match options %s/%g",
+			snap.Workload, snap.Scale, o.Workload, o.Scale)
+	}
+
 	sched := vtime.NewScheduler()
-	cat := o.Workload.NewCatalog(o.Scale, workload.DefaultExtentBytes)
-	srv, err := engine.New(ecfg, cat, sched)
+	srv, err := engine.NewShared(ecfg, snap.Catalog, snap.prebuilt(), sched)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,39 @@ import (
 // after running all registered reclaimers.
 var ErrOutOfMemory = errors.New("mem: out of memory")
 
+// oomError is the concrete error Reserve returns. Failed reservations
+// are a hot path under the collapse regime (every grant retry and OOM
+// spiral produces one), so the message is rendered lazily: constructing
+// the error costs one small allocation and no formatting.
+type oomError struct {
+	tracker string
+	kind    int8 // oomLimit, oomGroup, oomBudget
+	group   string
+	a, b, c int64 // kind-specific quantities, captured at failure time
+}
+
+const (
+	oomLimit int8 = iota
+	oomGroup
+	oomBudget
+)
+
+func (e *oomError) Error() string {
+	switch e.kind {
+	case oomLimit:
+		return fmt.Sprintf("%s: component limit %s exceeded: %v",
+			e.tracker, FormatBytes(e.a), ErrOutOfMemory)
+	case oomGroup:
+		return fmt.Sprintf("%s: %s exhausted (%s used of %s): %v",
+			e.tracker, e.group, FormatBytes(e.a), FormatBytes(e.b), ErrOutOfMemory)
+	default:
+		return fmt.Sprintf("%s: budget exhausted (%s used of %s, commit limit %s): %v",
+			e.tracker, FormatBytes(e.a), FormatBytes(e.b), FormatBytes(e.c), ErrOutOfMemory)
+	}
+}
+
+func (e *oomError) Unwrap() error { return ErrOutOfMemory }
+
 // Byte-size constants for readability in configuration.
 const (
 	KiB int64 = 1 << 10
@@ -275,16 +308,14 @@ func (t *Tracker) Reserve(n int64) error {
 	if t.limit > 0 && t.used+n > t.limit {
 		t.fails++
 		t.budget.oomCount++
-		return fmt.Errorf("%s: component limit %s exceeded: %w",
-			t.name, FormatBytes(t.limit), ErrOutOfMemory)
+		return &oomError{tracker: t.name, kind: oomLimit, a: t.limit}
 	}
 	if g := t.group; g != nil && g.used+n > g.cap {
 		g.reclaim(g.used + n - g.cap)
 		if g.used+n > g.cap {
 			t.fails++
 			t.budget.oomCount++
-			return fmt.Errorf("%s: %s exhausted (%s used of %s): %w",
-				t.name, g.name, FormatBytes(g.used), FormatBytes(g.cap), ErrOutOfMemory)
+			return &oomError{tracker: t.name, kind: oomGroup, group: g.name, a: g.used, b: g.cap}
 		}
 	}
 	if t.budget.used+n > t.budget.total {
@@ -301,9 +332,8 @@ func (t *Tracker) Reserve(n int64) error {
 		if t.budget.used+n > ceiling {
 			t.fails++
 			t.budget.oomCount++
-			return fmt.Errorf("%s: budget exhausted (%s used of %s, commit limit %s): %w",
-				t.name, FormatBytes(t.budget.used), FormatBytes(t.budget.total),
-				FormatBytes(t.budget.CommitLimit()), ErrOutOfMemory)
+			return &oomError{tracker: t.name, kind: oomBudget,
+				a: t.budget.used, b: t.budget.total, c: t.budget.CommitLimit()}
 		}
 	}
 	t.budget.used += n

@@ -267,6 +267,21 @@ func (m *Memo) AddJoin(l, r *Group, card float64) (*Group, bool, error) {
 	return g, true, nil
 }
 
+// AddJoinInto is AddJoin when the covering group is already in hand —
+// the commute and associate rules derive alternatives for the very group
+// they are exploring, so the set lookup AddJoin pays is pure overhead
+// there. g.Set must equal l.Set|r.Set.
+func (m *Memo) AddJoinInto(g, l, r *Group) (bool, error) {
+	key := uint64(uint32(l.ID))<<32 | uint64(uint32(r.ID))
+	if !m.exprKeys.Add(key) {
+		return false, nil
+	}
+	if err := m.addExpr(g, KindJoin, nil, l.ID, r.ID); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 func (m *Memo) addExpr(g *Group, kind ExprKind, t *catalog.Table, l, r GroupID) error {
 	if err := m.charge(m.cfg.BytesPerExpr); err != nil {
 		return err

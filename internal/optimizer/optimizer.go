@@ -111,12 +111,22 @@ type run struct {
 	edges    []joinEdge                // join edges in insertion order (deterministic)
 	edgeSeen map[[2]int]bool
 	cardMemo u64hash.MapF64
+	// nbr caches each group's neighborhood — the union of adjacent[] over
+	// its tables — indexed by group ID, so the connectivity test in the
+	// associate rule is one AND instead of a bit loop. 0 means "not yet
+	// computed" (a true-zero neighborhood only occurs for single-table
+	// queries, which never test connectivity).
+	nbr []uint64
 
 	// Extraction DP and buildInitial scratch, reused across phases.
 	dp        []costed
 	leaves    []*memo.Group // leaf group per term
 	remaining []bool        // buildInitial: term not yet joined
 	aggCols   []struct{ Table, Column string }
+	// Plan-node arena for the current extraction; ownership transfers to
+	// the plan, so it is not pooled.
+	arena     []plan.Node
+	arenaNext int
 
 	tasks        int
 	budget       int
@@ -155,6 +165,7 @@ func (o *Optimizer) getRun(q *plan.Query, hooks Hooks) *run {
 	r.edges = r.edges[:0]
 	clear(r.edgeSeen)
 	r.cardMemo.Reset()
+	r.nbr = r.nbr[:0]
 	r.tasks, r.budget, r.sinceWork = 0, 0, 0
 	r.cutBestFirst = false
 	return r
@@ -303,14 +314,29 @@ func (r *run) cardOfSet(set uint64) float64 {
 	return card
 }
 
-// connected reports whether any join edge links s1 and s2.
-func (r *run) connected(s1, s2 uint64) bool {
-	for s := s1; s != 0; s &= s - 1 {
-		if r.adjacent[bits.TrailingZeros64(s)]&s2 != 0 {
-			return true
-		}
+// neighborhood returns the union of adjacent[] over g's tables, cached
+// by group ID. groupsConnected(a, b) therefore tests exactly "does any
+// join edge link a and b" — the same predicate as looping a's bits and
+// ANDing adjacent[] against b.Set — but costs one AND on the hot
+// associate path.
+func (r *run) neighborhood(g *memo.Group) uint64 {
+	id := int(g.ID)
+	for id >= len(r.nbr) {
+		r.nbr = append(r.nbr, 0)
 	}
-	return false
+	n := r.nbr[id]
+	if n == 0 {
+		for s := g.Set; s != 0; s &= s - 1 {
+			n |= r.adjacent[bits.TrailingZeros64(s)]
+		}
+		r.nbr[id] = n
+	}
+	return n
+}
+
+// groupsConnected reports whether any join edge links the two groups.
+func (r *run) groupsConnected(a, b *memo.Group) bool {
+	return r.neighborhood(a)&b.Set != 0
 }
 
 // buildInitial creates leaf groups and a connectivity-respecting left-deep
@@ -357,7 +383,7 @@ func (r *run) buildInitial() (*memo.Group, error) {
 				continue
 			}
 			g := r.leaves[i]
-			if !r.connected(cur.Set, g.Set) {
+			if !r.groupsConnected(cur, g) {
 				continue
 			}
 			c := r.cardOfSet(cur.Set | g.Set)
@@ -444,10 +470,11 @@ func (r *run) applyRules(g *memo.Group, e *memo.Expr) error {
 	}
 	l, rt := r.m.Group(e.L), r.m.Group(e.R)
 
-	// Commute: L ⋈ R  =>  R ⋈ L.
+	// Commute: L ⋈ R  =>  R ⋈ L. The alternative lands in g itself, so
+	// no set lookup is needed.
 	if !e.CommuteApplied {
 		e.CommuteApplied = true
-		if _, _, err := r.m.AddJoin(rt, l, g.Card); err != nil {
+		if _, err := r.m.AddJoinInto(g, rt, l); err != nil {
 			return err
 		}
 	}
@@ -460,7 +487,7 @@ func (r *run) applyRules(g *memo.Group, e *memo.Expr) error {
 				continue
 			}
 			a, b := r.m.Group(le.L), r.m.Group(le.R)
-			if !r.connected(b.Set, rt.Set) {
+			if !r.groupsConnected(b, rt) {
 				continue // would introduce a cross product
 			}
 			inner, added, err := r.m.AddJoin(b, rt, r.cardOfSet(b.Set|rt.Set))
@@ -470,7 +497,7 @@ func (r *run) applyRules(g *memo.Group, e *memo.Expr) error {
 			if added && !r.step() {
 				return nil
 			}
-			if _, _, err := r.m.AddJoin(a, inner, g.Card); err != nil {
+			if _, err := r.m.AddJoinInto(g, a, inner); err != nil {
 				return err
 			}
 		}
@@ -491,7 +518,9 @@ type costed struct {
 // extract computes the cheapest implementation of every group reachable
 // from root and materializes the physical plan (with the query's aggregate
 // on top when present). The DP table is a pooled slice indexed by group
-// ID rather than a map.
+// ID rather than a map, and the plan's nodes come from a single
+// exactly-sized arena owned by the plan — one allocation per extraction
+// instead of one per node.
 func (r *run) extract(root *memo.Group) *plan.Plan {
 	n := len(r.m.AllGroups())
 	if cap(r.dp) < n {
@@ -500,6 +529,12 @@ func (r *run) extract(root *memo.Group) *plan.Plan {
 		r.dp = r.dp[:n]
 		clear(r.dp)
 	}
+	count := r.countNodes(root, r.dp)
+	if len(r.q.GroupBy) > 0 {
+		count++
+	}
+	arena := make([]plan.Node, count)
+	r.arena, r.arenaNext = arena, 0
 	node := r.buildNode(root, r.dp)
 	// Aggregation on top.
 	if len(r.q.GroupBy) > 0 {
@@ -510,7 +545,8 @@ func (r *run) extract(root *memo.Group) *plan.Plan {
 		}
 		cm := r.o.cfg.Cost
 		aggCost := node.OutCard*cm.AggRow*float64(aggs) + groups*cm.BuildRow
-		agg := &plan.Node{
+		agg := r.newNode()
+		*agg = plan.Node{
 			Op:          plan.OpHashAgg,
 			Left:        node,
 			OutCard:     groups,
@@ -520,7 +556,26 @@ func (r *run) extract(root *memo.Group) *plan.Plan {
 		}
 		node = agg
 	}
+	r.arena = nil // the plan owns the arena now
 	return &plan.Plan{Root: node}
+}
+
+// countNodes sizes the plan-node arena: the number of nodes buildNode
+// will materialize for the chosen expression tree. It runs the same
+// memoized DP, so the subsequent build finds every entry computed.
+func (r *run) countNodes(g *memo.Group, memoized []costed) int {
+	c := r.bestOf(g, memoized)
+	if c.expr.Kind == memo.KindLeaf {
+		return 1
+	}
+	return 1 + r.countNodes(r.m.Group(c.expr.L), memoized) + r.countNodes(r.m.Group(c.expr.R), memoized)
+}
+
+// newNode hands out the next arena slot.
+func (r *run) newNode() *plan.Node {
+	n := &r.arena[r.arenaNext]
+	r.arenaNext++
+	return n
 }
 
 // groupByDistinct estimates the aggregate's output groups, reusing the
@@ -625,14 +680,16 @@ func (r *run) bestOf(g *memo.Group, memoized []costed) *costed {
 	return &memoized[g.ID]
 }
 
-// buildNode materializes the chosen expression tree for g.
+// buildNode materializes the chosen expression tree for g out of the
+// extraction arena.
 func (r *run) buildNode(g *memo.Group, memoized []costed) *plan.Node {
 	c := r.bestOf(g, memoized)
 	cm := r.o.cfg.Cost
 	e := c.expr
 	if e.Kind == memo.KindLeaf {
 		t := e.Table
-		return &plan.Node{
+		n := r.newNode()
+		*n = plan.Node{
 			Op:           c.op,
 			Table:        t.Name,
 			ScanFraction: c.frac,
@@ -640,12 +697,14 @@ func (r *run) buildNode(g *memo.Group, memoized []costed) *plan.Node {
 			NodeCost:     c.cost,
 			SubtreeCost:  c.cost,
 		}
+		return n
 	}
 	l, rt := r.m.Group(e.L), r.m.Group(e.R)
 	ln := r.buildNode(l, memoized)
 	rn := r.buildNode(rt, memoized)
 	own := rt.Card*cm.BuildRow + l.Card*cm.CPURow + g.Card*cm.CPURow
-	return &plan.Node{
+	n := r.newNode()
+	*n = plan.Node{
 		Op:          plan.OpHashJoin,
 		Left:        ln,
 		Right:       rn,
@@ -654,4 +713,5 @@ func (r *run) buildNode(g *memo.Group, memoized []costed) *plan.Node {
 		SubtreeCost: ln.SubtreeCost + rn.SubtreeCost + own,
 		BuildBytes:  int64(rt.Card) * cm.HashRowBytes,
 	}
+	return n
 }

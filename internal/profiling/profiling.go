@@ -1,0 +1,51 @@
+// Package profiling wires the -cpuprofile / -memprofile flags of the
+// command-line tools to runtime/pprof, so every binary captures profiles
+// the same way (see DESIGN.md, "Profiling a run").
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns the
+// stop function the caller defers: it finishes the CPU profile and, when
+// memPath is non-empty, writes an allocation profile after the workload
+// ran. Either path may be empty; the returned function is always safe to
+// call once.
+func Start(cpuPath, memPath string) (func(), error) {
+	if cpuPath == "" {
+		return func() { writeMemProfile(memPath) }, nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+		writeMemProfile(memPath)
+	}, nil
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the profile reflects live state
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
+}

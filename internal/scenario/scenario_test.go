@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -184,6 +186,12 @@ func TestSweepMatchesSerial(t *testing.T) {
 // four-scenario serial-vs-parallel probe (TestSweepMatchesSerial)
 // across the whole registry, guarding scheduler determinism under the
 // staged compile-memory model.
+//
+// A third pass re-runs every scenario with a private, freshly built
+// snapshot instead of the process-wide shared one, proving the shared
+// immutable run state (catalog, estimator, layout, statement
+// identities) changes nothing: sharing is purely a setup-cost
+// optimization.
 func TestSweepWorkerCountInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation in -short")
@@ -207,6 +215,43 @@ func TestSweepWorkerCountInvariance(t *testing.T) {
 		}
 		if !reflect.DeepEqual(one[i].Result, many[i].Result) {
 			t.Errorf("%s: results differ between workers=1 and workers=N", name)
+		}
+	}
+
+	// Shared-snapshot path: private snapshots must reproduce the shared
+	// ones bit for bit.
+	fresh := make([]*harness.Result, len(scenarios))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, s := range scenarios {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := s.Options()
+			o.Snapshot = harness.NewSnapshot(o.Workload, o.Scale)
+			r, err := harness.Run(o)
+			if err != nil {
+				t.Errorf("%s: fresh-snapshot run: %v", s.Name, err)
+				return
+			}
+			fresh[i] = r
+		}()
+	}
+	wg.Wait()
+	for i := range scenarios {
+		if fresh[i] == nil {
+			continue
+		}
+		// The Options differ by the Snapshot pointer itself; blank it
+		// before the deep comparison of the measurements.
+		shared := *many[i].Result
+		private := *fresh[i]
+		shared.Options.Snapshot, private.Options.Snapshot = nil, nil
+		if !reflect.DeepEqual(shared, private) {
+			t.Errorf("%s: fresh-snapshot result differs from shared-snapshot result",
+				scenarios[i].Name)
 		}
 	}
 }

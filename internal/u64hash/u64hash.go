@@ -21,9 +21,12 @@ func mix(x uint64) uint64 {
 }
 
 // minSlots sizes a table's first allocation. Memo dedup tables routinely
-// reach thousands of keys per compilation, so starting larger skips the
-// early rehash ladder during pool warm-up at a few KiB of cost.
-const minSlots = 256
+// reach thousands of keys per compilation, so starting larger skips most
+// of the rehash ladder during pool warm-up: every run rebuilds its pools
+// from scratch, and the doubling ladder from a small table was a
+// measurable share of each run's allocation volume. 2048 slots (16 KiB
+// of keys) amortizes to noise across a pooled instance's lifetime.
+const minSlots = 2048
 
 // Set is an open-addressing set of nonzero uint64 keys.
 type Set struct {

@@ -1,0 +1,47 @@
+// Diagnostics for the scheduler: deadlock detection and reporting live
+// here so the hot-path files (vtime.go, wheel.go) carry no formatting or
+// sorting machinery. Nothing in this file runs during normal event
+// processing — the only per-event cost of deadlock reporting is the
+// one-time registration of each WaitQueue on its first waiter.
+package vtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrDeadlock is returned by Run when live tasks remain but none is
+// runnable and no timer is pending.
+type ErrDeadlock struct {
+	Now     time.Duration
+	Blocked []string // names of blocked tasks
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("vtime: deadlock at %v: %d task(s) blocked forever: %s",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// registerQueue remembers a wait queue for deadlock reporting. Called
+// once per queue, from the queue's first pushWaiter.
+func (s *Scheduler) registerQueue(q *WaitQueue) {
+	q.sched = s
+	s.queues = append(s.queues, q)
+}
+
+// deadlock builds the ErrDeadlock naming every blocked task. At deadlock
+// no timer is pending and the run queue is empty, so every live task is
+// parked in some wait queue; the queues registered on first use cover
+// them all.
+func (s *Scheduler) deadlock() error {
+	var names []string
+	for _, q := range s.queues {
+		for t := q.head; t != nil; t = t.qnext {
+			names = append(names, t.name)
+		}
+	}
+	sort.Strings(names)
+	return &ErrDeadlock{Now: s.now, Blocked: names}
+}

@@ -9,11 +9,20 @@
 //
 // A task's resume point is an explicit continuation (a Step). Blocking
 // operations — SleepThen, WaitQueue.WaitThen, Semaphore.AcquireThen —
-// enqueue the continuation into the timer heap or a wait queue and
+// enqueue the continuation into the timer wheel or a wait queue and
 // return; the event loop later invokes it with a plain function call.
 // No goroutine parks and no channel operation happens per event.
 //
-// Two task flavours share the same run queue and timer heap:
+// Timers live in a hierarchical timing wheel (wheel.go): arming and
+// disarming are O(1) pointer splices with the links embedded in the Task,
+// so the per-step codegen ramps, grant retries, and pager ticks of a
+// dense run cost no allocation and no O(log n) heap maintenance. The
+// wheel fires timers in exactly the (deadline, arming order) sequence
+// the original binary heap used, so every digest derived from a run is
+// bit-identical to the heap scheduler (pinned by the scenario
+// golden-digest test and the wheel-vs-heap differential test).
+//
+// Two task flavours share the same run queue and timer wheel:
 //
 //   - Continuation tasks (GoStep) are pure state machines. They have no
 //     stack at all; each step runs on the event-loop goroutine.
@@ -31,18 +40,10 @@
 // runnable the scheduler advances the virtual clock to the next timer.
 // Wall-clock time never matters: a five-hour benchmark window executes
 // in however long the event processing takes.
-//
-// The run-queue and timer-heap ordering is identical to the original
-// goroutine-per-task implementation, so virtual timestamps and every
-// metric derived from them are bit-identical to the seed scheduler
-// (pinned by the scenario golden-digest test).
 package vtime
 
 import (
-	"fmt"
 	"iter"
-	"sort"
-	"strings"
 	"time"
 )
 
@@ -59,7 +60,7 @@ type StepFunc func(*Task)
 // Run invokes f.
 func (f StepFunc) Run(t *Task) { f(t) }
 
-// Scheduler owns the virtual clock, the run queue, and the timer heap.
+// Scheduler owns the virtual clock, the run queue, and the timer wheel.
 // Create one with NewScheduler, add tasks with Go or GoStep, and drive
 // everything with Run.
 type Scheduler struct {
@@ -70,15 +71,16 @@ type Scheduler struct {
 	rhead int
 	rlen  int
 
-	timers timerHeap
+	wheel timerWheel
 
 	live   int    // tasks started and not yet exited
-	seq    uint64 // shared task-ID / timer-tiebreak sequence
+	seq    uint64 // task-ID sequence (diagnostics only)
 	events uint64 // dispatched events (sim-events/sec numerator)
 
-	// blocked is an intrusive doubly-linked list of parked tasks, kept
-	// only so deadlock reports can name them.
-	blockedHead, blockedTail *Task
+	// queues holds every WaitQueue tasks of this scheduler have waited
+	// on, so deadlock reports (diag.go) can name the blocked tasks; the
+	// hot wait paths only pay a nil check for it.
+	queues []*WaitQueue
 
 	running *Task
 }
@@ -131,38 +133,6 @@ func (s *Scheduler) growRunq() {
 	s.rhead = 0
 }
 
-// --- blocked list (deadlock reporting only) ---
-
-func (s *Scheduler) addBlocked(t *Task) {
-	t.bprev = s.blockedTail
-	t.bnext = nil
-	if s.blockedTail != nil {
-		s.blockedTail.bnext = t
-	} else {
-		s.blockedHead = t
-	}
-	s.blockedTail = t
-	t.parked = true
-}
-
-func (s *Scheduler) removeBlocked(t *Task) {
-	if !t.parked {
-		return
-	}
-	if t.bprev != nil {
-		t.bprev.bnext = t.bnext
-	} else {
-		s.blockedHead = t.bnext
-	}
-	if t.bnext != nil {
-		t.bnext.bprev = t.bprev
-	} else {
-		s.blockedTail = t.bprev
-	}
-	t.bprev, t.bnext = nil, nil
-	t.parked = false
-}
-
 // Go creates a blocking-style task named name executing fn and schedules
 // it to run. The body runs on a coroutine entered by direct switch; fn
 // may use the imperative API (Sleep, Wait, Await, ...). The name is used
@@ -170,7 +140,7 @@ func (s *Scheduler) removeBlocked(t *Task) {
 // host goroutine before Run, or from a running task.
 func (s *Scheduler) Go(name string, fn func(*Task)) *Task {
 	s.seq++
-	t := &Task{s: s, name: name, id: s.seq, heapIdx: -1, goro: true}
+	t := &Task{s: s, name: name, id: s.seq, wlevel: -1, goro: true}
 	next, _ := iter.Pull(func(yield func(struct{}) bool) {
 		t.yieldCo = yield
 		if !yield(struct{}{}) {
@@ -192,7 +162,7 @@ func (s *Scheduler) Go(name string, fn func(*Task)) *Task {
 // have no stack and may not call the blocking API.
 func (s *Scheduler) GoStep(name string, k Step) *Task {
 	s.seq++
-	t := &Task{s: s, name: name, id: s.seq, heapIdx: -1}
+	t := &Task{s: s, name: name, id: s.seq, wlevel: -1}
 	s.live++
 	t.k = k
 	s.pushRunq(t)
@@ -204,55 +174,40 @@ func (s *Scheduler) GoFunc(name string, f func(*Task)) *Task {
 	return s.GoStep(name, StepFunc(f))
 }
 
-// ErrDeadlock is returned by Run when live tasks remain but none is
-// runnable and no timer is pending.
-type ErrDeadlock struct {
-	Now     time.Duration
-	Blocked []string // names of blocked tasks
-}
-
-func (e *ErrDeadlock) Error() string {
-	return fmt.Sprintf("vtime: deadlock at %v: %d task(s) blocked forever: %s",
-		e.Now, len(e.Blocked), strings.Join(e.Blocked, ", "))
-}
-
 // Run executes tasks until every task has exited. It returns an
 // *ErrDeadlock if tasks remain blocked with no pending timer. Run must
 // be called from the host goroutine (not from a task).
 func (s *Scheduler) Run() error {
 	for {
 		if s.rlen == 0 {
-			if len(s.timers) == 0 {
+			if s.wheel.count == 0 {
 				if s.live == 0 {
 					return nil
 				}
-				var names []string
-				for t := s.blockedHead; t != nil; t = t.bnext {
-					names = append(names, t.name)
-				}
-				sort.Strings(names)
-				return &ErrDeadlock{Now: s.now, Blocked: names}
+				return s.deadlock()
 			}
-			// Advance the clock to the next timer and fire everything
-			// due at that instant.
-			s.now = s.timers[0].wakeAt
-			for len(s.timers) > 0 && s.timers[0].wakeAt == s.now {
-				t := s.timers.popMin()
-				if t.queue != nil {
-					// Waiting with timeout: the timeout fired first.
-					t.queue.removeWaiter(t)
-					t.queue = nil
-					t.timedOut = true
-				}
-				s.makeRunnable(t)
-			}
+			s.fireDue()
 		}
 		t := s.popRunq()
 		s.events++
 		s.running = t
 		k := t.k
 		t.k = nil
-		k.Run(t)
+		// De-virtualized dispatch: the overwhelmingly common resume
+		// points — coroutine switches, CPU-quantum ops, plain functions —
+		// take a direct (inlinable) call instead of an interface call.
+		// Everything else (the engine's composite compile/exec/grant ops,
+		// which amortize many events per arm) dispatches virtually.
+		switch kk := k.(type) {
+		case coroResumeStep:
+			kk.Run(t)
+		case *cpuUseOp:
+			kk.Run(t)
+		case StepFunc:
+			kk(t)
+		default:
+			k.Run(t)
+		}
 		s.running = nil
 		if t.k == nil && !t.goro {
 			// A continuation task's step returned without arming a new
@@ -262,44 +217,78 @@ func (s *Scheduler) Run() error {
 	}
 }
 
-func (s *Scheduler) makeRunnable(t *Task) {
-	s.removeBlocked(t)
-	s.pushRunq(t)
+// fireDue advances the virtual clock to the earliest pending deadline
+// and makes every timer due at that exact instant runnable, in arming
+// order — the same (deadline, sequence) order the old binary heap
+// dispatched. The candidates all live in one level-0 bucket (a bucket
+// spans a single tick), so a short list scan finds the sub-tick minimum
+// and collects its cohort.
+func (s *Scheduler) fireDue() {
+	w := &s.wheel
+	b := w.findMinBucket()
+	min := b.head.wakeAt
+	for t := b.head.wnext; t != nil; t = t.wnext {
+		if t.wakeAt < min {
+			min = t.wakeAt
+		}
+	}
+	s.now = min
+	w.cur = uint64(min) >> tickShift
+	for t := b.head; t != nil; {
+		next := t.wnext
+		if t.wakeAt == min {
+			w.remove(t)
+			if t.queue != nil {
+				// Waiting with timeout: the timeout fired first.
+				t.queue.removeWaiter(t)
+				t.queue = nil
+				t.timedOut = true
+			}
+			s.pushRunq(t)
+		}
+		t = next
+	}
 }
 
 // Task is a cooperative thread of execution under a Scheduler. All Task
 // methods must be called from the task's own context.
+//
+// Field order is deliberate: the state the event loop touches on every
+// dispatch, sleep, and wake — the resume point, scheduler, deadline,
+// wait-queue membership, and flags — packs into the first cache line;
+// the wheel links follow immediately (touched on arm/disarm), and the
+// cold diagnostic and coroutine plumbing trails at the end.
 type Task struct {
-	s    *Scheduler
-	name string
-	id   uint64
-
 	// k is the pending resume point, invoked when the task is next
 	// dispatched from the run queue.
 	k Step
+	s *Scheduler
 
-	// Coroutine support for blocking-style tasks.
-	resumeCo func() bool
-	yieldCo  func(struct{}) bool
-	goro     bool // blocking-style task (has a coroutine)
-	onCoro   bool // currently executing inside the coroutine
-	syncDone bool // Await operation completed without parking
-
-	// Embedded timer: a task has at most one pending timer, so the heap
-	// entry lives inline (no allocation per sleep).
-	wakeAt  time.Duration
-	tseq    uint64
-	heapIdx int // -1 when not in the heap
+	// Embedded timer: a task has at most one pending timer, so the wheel
+	// entry lives inline (no allocation per sleep). wlevel is -1 when
+	// the task is not armed.
+	wakeAt time.Duration
 
 	// Wait-queue membership (intrusive FIFO list).
 	queue        *WaitQueue
 	qprev, qnext *Task
 
-	// Blocked-list membership (deadlock reporting).
-	bprev, bnext *Task
-	parked       bool
+	wlevel, wslot int8
+	goro          bool // blocking-style task (has a coroutine)
+	onCoro        bool // currently executing inside the coroutine
+	syncDone      bool // Await operation completed without parking
+	timedOut      bool
 
-	timedOut bool
+	// Wheel bucket links (intrusive doubly-linked FIFO).
+	wprev, wnext *Task
+
+	// Coroutine support for blocking-style tasks.
+	resumeCo func() bool
+	yieldCo  func(struct{}) bool
+
+	// Diagnostics only.
+	id   uint64
+	name string
 }
 
 // Name returns the diagnostic name the task was created with.
@@ -401,7 +390,6 @@ func (t *Task) SleepThen(d time.Duration, k Step) {
 	}
 	t.k = k
 	t.s.addTimer(t, t.s.now+d)
-	t.s.addBlocked(t)
 }
 
 // --- blocking wrappers (coroutine tasks only) ---
@@ -426,99 +414,17 @@ func (t *Task) SleepUntil(at time.Duration) {
 
 // --- timers ---
 
+// addTimer arms t's embedded timer for the absolute instant at. Ties at
+// the same instant fire in arming order (the wheel's bucket FIFO), which
+// is exactly the (deadline, sequence) order of the old timer heap.
 func (s *Scheduler) addTimer(t *Task, at time.Duration) {
-	s.seq++
 	t.wakeAt = at
-	t.tseq = s.seq
-	s.timers.push(t)
+	s.wheel.add(t)
 }
 
 func (s *Scheduler) cancelTimer(t *Task) {
-	if t.heapIdx >= 0 {
-		s.timers.remove(t.heapIdx)
-	}
-}
-
-// timerHeap is a binary min-heap of tasks ordered by (wakeAt, tseq),
-// with heap indices stored intrusively on the tasks.
-type timerHeap []*Task
-
-func (h timerHeap) less(i, j int) bool {
-	if h[i].wakeAt != h[j].wakeAt {
-		return h[i].wakeAt < h[j].wakeAt
-	}
-	return h[i].tseq < h[j].tseq
-}
-
-func (h timerHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
-}
-
-func (h *timerHeap) push(t *Task) {
-	*h = append(*h, t)
-	t.heapIdx = len(*h) - 1
-	h.siftUp(t.heapIdx)
-}
-
-func (h *timerHeap) popMin() *Task {
-	old := *h
-	t := old[0]
-	n := len(old) - 1
-	old.swap(0, n)
-	old[n] = nil
-	*h = old[:n]
-	if n > 0 {
-		h.siftDown(0)
-	}
-	t.heapIdx = -1
-	return t
-}
-
-func (h *timerHeap) remove(i int) {
-	old := *h
-	n := len(old) - 1
-	t := old[i]
-	if i != n {
-		old.swap(i, n)
-	}
-	old[n] = nil
-	*h = old[:n]
-	if i < n {
-		h.siftDown(i)
-		h.siftUp(i)
-	}
-	t.heapIdx = -1
-}
-
-func (h timerHeap) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-func (h timerHeap) siftDown(i int) {
-	n := len(h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		small := l
-		if r := l + 1; r < n && h.less(r, l) {
-			small = r
-		}
-		if !h.less(small, i) {
-			return
-		}
-		h.swap(i, small)
-		i = small
+	if t.wlevel >= 0 {
+		s.wheel.remove(t)
 	}
 }
 
@@ -530,6 +436,7 @@ func (h timerHeap) siftDown(i int) {
 // single scheduler.
 type WaitQueue struct {
 	name       string
+	sched      *Scheduler // set on first wait, for deadlock reports
 	head, tail *Task
 	n          int
 }
@@ -544,6 +451,9 @@ func (q *WaitQueue) Name() string { return q.name }
 func (q *WaitQueue) Len() int { return q.n }
 
 func (q *WaitQueue) pushWaiter(t *Task) {
+	if q.sched == nil {
+		t.s.registerQueue(q)
+	}
 	t.qprev = q.tail
 	t.qnext = nil
 	if q.tail != nil {
@@ -576,7 +486,6 @@ func (q *WaitQueue) WaitThen(t *Task, k Step) {
 	t.k = k
 	t.queue = q
 	q.pushWaiter(t)
-	t.s.addBlocked(t)
 }
 
 // WaitTimeoutThen blocks t until signaled or until d of virtual time has
@@ -593,7 +502,6 @@ func (q *WaitQueue) WaitTimeoutThen(t *Task, d time.Duration, k Step) {
 	t.queue = q
 	q.pushWaiter(t)
 	t.s.addTimer(t, t.s.now+d)
-	t.s.addBlocked(t)
 }
 
 // Wait blocks t until another task calls Signal or Broadcast.
@@ -624,7 +532,7 @@ func (q *WaitQueue) Signal() bool {
 	q.removeWaiter(t)
 	t.queue = nil
 	t.s.cancelTimer(t)
-	t.s.makeRunnable(t)
+	t.s.pushRunq(t)
 	return true
 }
 

@@ -1,0 +1,165 @@
+package vtime
+
+import "math/bits"
+
+// Timer-wheel geometry. One tick is 2^tickShift nanoseconds (~1.05 ms);
+// each level holds 64 slots and each level's slots are 64x wider than the
+// level below, so level 0 resolves single ticks and higher levels hold
+// coarser horizons. Placement is by the highest bit where the deadline's
+// tick differs from the clock's tick, so the level count must cover the
+// whole 64-bit XOR range: eleven levels (66 bits) index any deadline a
+// time.Duration can express, with no clamping or overflow cases.
+const (
+	tickShift   = 20
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11
+)
+
+// timerBucket is one wheel slot: an intrusive doubly-linked FIFO of tasks
+// threaded through Task.wprev/wnext. Within a bucket, tasks appear in
+// arming order — the (deadline, seq) tie-break order the old binary heap
+// used falls out for free, because a level-0 bucket holds exactly one
+// tick's worth of deadlines and ties fire in insertion order.
+type timerBucket struct {
+	head, tail *Task
+}
+
+// timerWheel is a hierarchical timing wheel over the scheduler's virtual
+// clock. Arming and disarming a timer are O(1) pointer splices into the
+// bucket lists and allocate nothing (the links live inline in the Task);
+// timers far in the future sit in coarse high-level slots and cascade
+// into finer levels as the clock approaches them.
+//
+// Indexing is by absolute deadline tick: a timer whose tick dt first
+// differs from the current tick cur in bit range [6l, 6l+6) lives at
+// level l, slot (dt >> 6l) & 63. Invariants maintained throughout:
+//
+//   - every armed deadline is >= the clock, so within a level all
+//     occupied slots are at indices >= the clock's index at that level;
+//   - a level-0 bucket therefore holds exactly one tick value, and all
+//     entries of a bucket are in arming order (cascades preserve
+//     relative order, and direct arms into a bucket always carry later
+//     arming sequence numbers than anything cascaded into it).
+type timerWheel struct {
+	cur   uint64              // current tick (now >> tickShift)
+	count int                 // armed timers
+	occ   [wheelLevels]uint64 // per-level slot-occupancy bitmaps
+	slot  [wheelLevels][wheelSlots]timerBucket
+}
+
+// place links t into the bucket its wakeAt belongs to, relative to the
+// current tick. count is not touched (add and cascade share it).
+func (w *timerWheel) place(t *Task) {
+	dt := uint64(t.wakeAt) >> tickShift
+	if dt < w.cur {
+		dt = w.cur // overdue within the current tick: due now
+	}
+	level := 0
+	if diff := dt ^ w.cur; diff != 0 {
+		level = (bits.Len64(diff) - 1) / wheelBits
+	}
+	s := int(dt>>(uint(level)*wheelBits)) & wheelMask
+	b := &w.slot[level][s]
+	t.wlevel, t.wslot = int8(level), int8(s)
+	t.wprev = b.tail
+	t.wnext = nil
+	if b.tail != nil {
+		b.tail.wnext = t
+	} else {
+		b.head = t
+		w.occ[level] |= 1 << uint(s)
+	}
+	b.tail = t
+}
+
+// add arms t (wakeAt must be set).
+func (w *timerWheel) add(t *Task) {
+	w.place(t)
+	w.count++
+}
+
+// remove disarms t: an O(1) unlink of the intrusive links, no tombstones
+// and no allocation — cancellation never leaves residue to skip later.
+func (w *timerWheel) remove(t *Task) {
+	b := &w.slot[t.wlevel][t.wslot]
+	if t.wprev != nil {
+		t.wprev.wnext = t.wnext
+	} else {
+		b.head = t.wnext
+	}
+	if t.wnext != nil {
+		t.wnext.wprev = t.wprev
+	} else {
+		b.tail = t.wprev
+	}
+	if b.head == nil {
+		w.occ[t.wlevel] &^= 1 << uint(t.wslot)
+	}
+	t.wprev, t.wnext = nil, nil
+	t.wlevel = -1
+	w.count--
+}
+
+// cascade empties bucket (level, s) and re-places every entry relative to
+// the current tick. Entries always land at a strictly lower level (their
+// high digits now match the clock's), and relative order is preserved.
+func (w *timerWheel) cascade(level, s int) {
+	b := &w.slot[level][s]
+	t := b.head
+	b.head, b.tail = nil, nil
+	w.occ[level] &^= 1 << uint(s)
+	for t != nil {
+		next := t.wnext
+		t.wprev, t.wnext = nil, nil
+		w.place(t)
+		t = next
+	}
+}
+
+// findMinBucket advances the wheel to the level-0 bucket holding the
+// globally earliest deadline and returns it, cascading coarse slots down
+// as the clock crosses into them. Must only be called with count > 0.
+//
+// Two facts make the scan correct. First, entries at level l in a slot
+// *after* the clock's index all expire after the current slot of every
+// level above ends, so the earliest pending deadline is either in a
+// not-yet-cascaded *current* slot of some upper level or in the first
+// occupied future slot of the lowest occupied level. Second, cascading
+// upper-level current slots top-down first means one pass settles them:
+// a cascade from level h only deposits into levels below h, and never
+// into a current slot of a level >= 1 (matching digits would have sent
+// the entry lower still).
+func (w *timerWheel) findMinBucket() *timerBucket {
+	for {
+		// Settle the current slots of the upper levels.
+		for l := wheelLevels - 1; l >= 1; l-- {
+			ci := int(w.cur>>(uint(l)*wheelBits)) & wheelMask
+			if w.occ[l]&(1<<uint(ci)) != 0 {
+				w.cascade(l, ci)
+			}
+		}
+		if w.occ[0] != 0 {
+			return &w.slot[0][bits.TrailingZeros64(w.occ[0])]
+		}
+		// Nothing this fine yet: jump the clock to the start of the
+		// earliest future occupied slot (lowest occupied level is
+		// earliest) and cascade it, then rescan.
+		advanced := false
+		for l := 1; l < wheelLevels; l++ {
+			if w.occ[l] == 0 {
+				continue
+			}
+			s := bits.TrailingZeros64(w.occ[l])
+			shift := uint(l) * wheelBits
+			w.cur = w.cur&^(uint64(1)<<(shift+wheelBits)-1) | uint64(s)<<shift
+			w.cascade(l, s)
+			advanced = true
+			break
+		}
+		if !advanced {
+			return nil // unreachable with count > 0; caller checks
+		}
+	}
+}

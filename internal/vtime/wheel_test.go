@@ -1,0 +1,259 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refTimer is the reference model the wheel is checked against: the old
+// binary heap's contract, a priority queue ordered by (deadline, arming
+// sequence).
+type refTimer struct {
+	t    *Task
+	wake time.Duration
+	seq  int
+}
+
+// refPopDue removes and returns, in (wake, seq) order, every reference
+// entry due at the earliest pending deadline.
+func refPopDue(ref *[]refTimer) (time.Duration, []*Task) {
+	entries := *ref
+	min := entries[0].wake
+	for _, e := range entries[1:] {
+		if e.wake < min {
+			min = e.wake
+		}
+	}
+	var due []refTimer
+	keep := entries[:0]
+	for _, e := range entries {
+		if e.wake == min {
+			due = append(due, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j].seq < due[j-1].seq; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	*ref = keep
+	out := make([]*Task, len(due))
+	for i, e := range due {
+		out[i] = e.t
+	}
+	return min, out
+}
+
+// TestWheelHeapDifferential drives the timer wheel through randomized
+// arm/cancel/fire sequences and checks that every fired batch matches the
+// reference heap order exactly: same instants, same tasks, same
+// within-instant order. Deadline spans range from sub-tick nanoseconds to
+// hours so the mix exercises same-bucket ties, level-0 placement, and
+// multi-level cascades.
+func TestWheelHeapDifferential(t *testing.T) {
+	spans := []time.Duration{
+		1, 100, time.Microsecond, 300 * time.Microsecond, // sub-tick
+		5 * time.Millisecond, 80 * time.Millisecond, // level 0/1
+		2 * time.Second, 90 * time.Second, // level 1/2
+		45 * time.Minute, 7 * time.Hour, // level 3/4
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := &timerWheel{}
+		var ref []refTimer
+		var now time.Duration
+		seq := 0
+		var armed []*Task
+
+		arm := func() {
+			d := time.Duration(1 + rng.Int63n(int64(spans[rng.Intn(len(spans))])))
+			if rng.Intn(4) == 0 && len(ref) > 0 {
+				// Deliberate tie with an already-armed deadline.
+				d = ref[rng.Intn(len(ref))].wake - now
+				if d <= 0 {
+					d = 1
+				}
+			}
+			tk := &Task{wlevel: -1, wakeAt: now + d}
+			w.add(tk)
+			seq++
+			ref = append(ref, refTimer{t: tk, wake: tk.wakeAt, seq: seq})
+			armed = append(armed, tk)
+		}
+		cancel := func() {
+			if len(armed) == 0 {
+				return
+			}
+			i := rng.Intn(len(armed))
+			tk := armed[i]
+			w.remove(tk)
+			armed = append(armed[:i], armed[i+1:]...)
+			for j, e := range ref {
+				if e.t == tk {
+					ref = append(ref[:j], ref[j+1:]...)
+					break
+				}
+			}
+		}
+		fire := func() {
+			if len(ref) == 0 {
+				return
+			}
+			wantAt, want := refPopDue(&ref)
+			b := w.findMinBucket()
+			if b == nil {
+				t.Fatalf("seed %d: wheel empty with %d reference timers", seed, len(want))
+			}
+			min := b.head.wakeAt
+			for tk := b.head.wnext; tk != nil; tk = tk.wnext {
+				if tk.wakeAt < min {
+					min = tk.wakeAt
+				}
+			}
+			if min != wantAt {
+				t.Fatalf("seed %d: wheel fires at %v, heap at %v", seed, min, wantAt)
+			}
+			now = min
+			w.cur = uint64(min) >> tickShift
+			var got []*Task
+			for tk := b.head; tk != nil; {
+				next := tk.wnext
+				if tk.wakeAt == min {
+					w.remove(tk)
+					got = append(got, tk)
+				}
+				tk = next
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: wheel fired %d timers at %v, heap fired %d",
+					seed, len(got), min, len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: dispatch order diverges at position %d of the %v batch",
+						seed, i, min)
+				}
+				for j, tk := range armed {
+					if tk == got[i] {
+						armed = append(armed[:j], armed[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5:
+				arm()
+			case r < 7:
+				cancel()
+			default:
+				fire()
+			}
+			if w.count != len(ref) {
+				t.Fatalf("seed %d: wheel count %d, reference %d", seed, w.count, len(ref))
+			}
+		}
+		for len(ref) > 0 {
+			fire()
+		}
+		if w.count != 0 {
+			t.Fatalf("seed %d: %d timers left in the wheel after drain", seed, w.count)
+		}
+	}
+}
+
+// TestWheelFarDeadline arms a deadline in the wheel's coarsest levels —
+// crossing high power-of-two tick boundaries on the way — and checks it
+// still fires at the exact requested instant.
+func TestWheelFarDeadline(t *testing.T) {
+	s := NewScheduler()
+	const far = 200 * 365 * 24 * time.Hour // ~200 years out
+	var woke time.Duration
+	s.GoFunc("far", func(tk *Task) {
+		tk.SleepThen(far, StepFunc(func(tk *Task) { woke = tk.Now() }))
+	})
+	s.GoFunc("near", func(tk *Task) {
+		tk.SleepThen(time.Second, StepFunc(func(tk *Task) {}))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != far {
+		t.Fatalf("far timer fired at %v, want %v", woke, far)
+	}
+}
+
+// BenchmarkTimerWheel measures a dense arm/cancel/fire mix with 10k live
+// timers: every dispatched event re-arms its timer at a pseudo-random
+// deadline, and a tenth of the tasks wait with timeouts that a signaler
+// cancels in bursts — the cancellation path stays hot. Reported
+// sim-events/sec is the scheduler's own dispatch throughput.
+func BenchmarkTimerWheel(b *testing.B) {
+	const tasks = 10_000
+	b.ReportAllocs()
+	start := time.Now()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		q := NewWaitQueue("bench")
+		remaining := tasks * 20 // dispatches before the run winds down
+		var spin func(tk *Task)
+		state := uint64(12345)
+		nextDur := func() time.Duration {
+			// xorshift: cheap deterministic spread over ~1µs..1.1s,
+			// crossing several wheel levels.
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return time.Duration(1000 + state%(1<<30))
+		}
+		spin = func(tk *Task) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			tk.SleepThen(nextDur(), StepFunc(spin))
+		}
+		var wait func(tk *Task)
+		wait = func(tk *Task) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			q.WaitTimeoutThen(tk, nextDur(), StepFunc(wait))
+		}
+		for j := 0; j < tasks; j++ {
+			if j%10 == 0 {
+				s.GoFunc("w", wait)
+			} else {
+				s.GoFunc("t", spin)
+			}
+		}
+		s.GoFunc("signaler", StepFunc(func(tk *Task) {
+			var tick func(tk *Task)
+			tick = func(tk *Task) {
+				for j := 0; j < 64; j++ {
+					if !q.Signal() { // cancels the waiter's timer
+						break
+					}
+				}
+				if remaining > 0 {
+					tk.SleepThen(50*time.Millisecond, StepFunc(tick))
+				}
+			}
+			tick(tk)
+		}))
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		events += s.Events()
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(events)/sec, "sim-events/sec")
+	}
+}

@@ -90,3 +90,17 @@ func (sp Spec) NewCatalog(scale float64, extentBytes int64) *catalog.Catalog {
 		return catalog.NewSales(catalog.SalesConfig{Scale: scale, ExtentBytes: extentBytes})
 	}
 }
+
+// StaticStatements returns the spec's closed statement set: every query
+// text the workload can produce that recurs across submissions (the
+// OLTP point-query pool). Uniquified workloads (SALES, TPC-H) have none
+// and return nil. Run snapshots pre-fingerprint these once per shape so
+// no run parses or hashes them again.
+func (sp Spec) StaticStatements() []string {
+	switch sp.orDefault() {
+	case SpecOLTP, SpecMix:
+		return NewOLTP().Statements()
+	default:
+		return nil
+	}
+}

@@ -12,7 +12,9 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Generator produces one SQL statement per call.
@@ -39,6 +41,15 @@ type salesTemplate struct {
 	// extraFilters are "table.column" equality filters with a domain to
 	// draw the literal from.
 	extraFilters []filter
+
+	// Pre-rendered SQL segments (built once, shared by every generator):
+	// head runs from SELECT through "BETWEEN ", filterSegs[i] is the
+	// " AND col = " preceding extraFilters[i]'s literal, tail is the
+	// GROUP BY clause. Next only splices literals between them, so one
+	// query costs one string allocation instead of dozens.
+	head       string
+	filterSegs []string
+	tail       string
 }
 
 type filter struct {
@@ -47,13 +58,16 @@ type filter struct {
 }
 
 // Sales generates the SALES benchmark (§5.1): 10 representative templates
-// with 15-20 joins computing aggregates over the join results.
+// with 15-20 joins computing aggregates over the join results. The
+// template tables are immutable and shared by every Sales instance; only
+// the uniquify counter and the scratch buffer are per-generator.
 type Sales struct {
 	templates []salesTemplate
 	// Uniquify appends a per-submission unique comment (default true);
 	// disable to measure plan-cache behaviour.
 	Uniquify bool
 	counter  uint64
+	buf      []byte // query-assembly scratch, reused across Next calls
 }
 
 // dateDomain is dim_date's date_id domain (3653 days).
@@ -103,8 +117,18 @@ func chain(base []join, tables ...string) []join {
 	return out
 }
 
-// NewSales builds the 10-template SALES workload.
+// NewSales builds the 10-template SALES workload. The shared template
+// tables (join trees, pre-rendered SQL segments) are built once per
+// process.
 func NewSales() *Sales {
+	return &Sales{templates: salesTemplates(), Uniquify: true}
+}
+
+// salesTemplates builds the shared, read-only template tables on first
+// use.
+var salesTemplates = sync.OnceValue(buildSalesTemplates)
+
+func buildSalesTemplates() []salesTemplate {
 	allDims := []string{"dim_product", "dim_store", "dim_customer", "dim_date",
 		"dim_promotion", "dim_employee", "dim_channel"}
 	t := []salesTemplate{
@@ -196,41 +220,18 @@ func NewSales() *Sales {
 			aggs:    3, factFracLo: 0.12, factFracHi: 0.22,
 		},
 	}
-	return &Sales{templates: t, Uniquify: true}
+	for i := range t {
+		renderSalesSegments(&t[i])
+	}
+	return t
 }
 
-// Name implements Generator.
-func (s *Sales) Name() string { return "sales" }
-
-// Templates returns the number of base queries.
-func (s *Sales) Templates() int { return len(s.templates) }
-
-// heavyTemplates indexes the two wide-scan templates (Q6, Q10) whose
-// compilations reach a "sizable fraction of total available memory"; they
-// are drawn rarely, matching the paper's observation that pressure comes
-// from several medium/large compilations rather than constant giants.
-var heavyTemplates = []int{5, 9}
-
-// heavyProb is the probability of drawing a heavy template.
-const heavyProb = 0.06
-
-// Next implements Generator: picks a template (weighted: heavy templates
-// are rare), varies its literals, and appends a uniquifying comment.
-func (s *Sales) Next(rng *rand.Rand) string {
-	var t salesTemplate
-	if rng.Float64() < heavyProb {
-		t = s.templates[heavyTemplates[rng.Intn(len(heavyTemplates))]]
-	} else {
-		for {
-			i := rng.Intn(len(s.templates))
-			if i != heavyTemplates[0] && i != heavyTemplates[1] {
-				t = s.templates[i]
-				break
-			}
-		}
-	}
+// renderSalesSegments pre-renders the static SQL of one template: the
+// SELECT/FROM/JOIN head up to the date-range literals, the per-filter
+// " AND col = " separators, and the GROUP BY tail. The rendering here is
+// the single source of the query text; Next only splices literals in.
+func renderSalesSegments(t *salesTemplate) {
 	var sb strings.Builder
-
 	sb.WriteString("SELECT ")
 	for i, g := range t.groupBy {
 		if i > 0 {
@@ -256,6 +257,59 @@ func (s *Sales) Next(rng *rand.Rand) string {
 		fmt.Fprintf(&sb, " JOIN %s ON %s.%s = %s.%s",
 			j.right, j.left, j.leftCol, j.right, keyColumn(j.right, rightKey, j.leftCol))
 	}
+	sb.WriteString(" WHERE sales_fact.date_id BETWEEN ")
+	t.head = sb.String()
+
+	t.filterSegs = make([]string, len(t.extraFilters))
+	for i, f := range t.extraFilters {
+		t.filterSegs[i] = " AND " + f.col + " = "
+	}
+
+	sb.Reset()
+	sb.WriteString(" GROUP BY ")
+	for i, g := range t.groupBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(g)
+	}
+	t.tail = sb.String()
+}
+
+// Name implements Generator.
+func (s *Sales) Name() string { return "sales" }
+
+// Templates returns the number of base queries.
+func (s *Sales) Templates() int { return len(s.templates) }
+
+// heavyTemplates indexes the two wide-scan templates (Q6, Q10) whose
+// compilations reach a "sizable fraction of total available memory"; they
+// are drawn rarely, matching the paper's observation that pressure comes
+// from several medium/large compilations rather than constant giants.
+var heavyTemplates = []int{5, 9}
+
+// heavyProb is the probability of drawing a heavy template.
+const heavyProb = 0.06
+
+// Next implements Generator: picks a template (weighted: heavy templates
+// are rare), varies its literals, and appends a uniquifying comment. The
+// statement is assembled from the template's pre-rendered segments in a
+// reused scratch buffer, so each call costs one allocation (the returned
+// string) while producing byte-identical text to rendering from scratch.
+func (s *Sales) Next(rng *rand.Rand) string {
+	var t *salesTemplate
+	if rng.Float64() < heavyProb {
+		t = &s.templates[heavyTemplates[rng.Intn(len(heavyTemplates))]]
+	} else {
+		for {
+			i := rng.Intn(len(s.templates))
+			if i != heavyTemplates[0] && i != heavyTemplates[1] {
+				t = &s.templates[i]
+				break
+			}
+		}
+	}
+	buf := append(s.buf[:0], t.head...)
 
 	// Fact date-range filter: selectivity drawn from the template band.
 	frac := t.factFracLo + rng.Float64()*(t.factFracHi-t.factFracLo)
@@ -264,24 +318,23 @@ func (s *Sales) Next(rng *rand.Rand) string {
 		width = 1
 	}
 	lo := rng.Int63n(dateDomain - width)
-	fmt.Fprintf(&sb, " WHERE sales_fact.date_id BETWEEN %d AND %d", lo, lo+width)
-	for _, f := range t.extraFilters {
-		fmt.Fprintf(&sb, " AND %s = %d", f.col, rng.Int63n(f.domain))
+	buf = strconv.AppendInt(buf, lo, 10)
+	buf = append(buf, " AND "...)
+	buf = strconv.AppendInt(buf, lo+width, 10)
+	for i, f := range t.extraFilters {
+		buf = append(buf, t.filterSegs[i]...)
+		buf = strconv.AppendInt(buf, rng.Int63n(f.domain), 10)
 	}
-
-	sb.WriteString(" GROUP BY ")
-	for i, g := range t.groupBy {
-		if i > 0 {
-			sb.WriteString(", ")
-		}
-		sb.WriteString(g)
-	}
+	buf = append(buf, t.tail...)
 
 	if s.Uniquify {
 		s.counter++
-		fmt.Fprintf(&sb, " /* u%d */", s.counter)
+		buf = append(buf, " /* u"...)
+		buf = strconv.AppendUint(buf, s.counter, 10)
+		buf = append(buf, " */"...)
 	}
-	return sb.String()
+	s.buf = buf
+	return string(buf)
 }
 
 // keyColumn resolves the join column on the right-hand table: dimension
@@ -309,6 +362,7 @@ func keyColumn(table, derived, leftCol string) string {
 type TPCH struct {
 	Uniquify bool
 	counter  uint64
+	buf      []byte // query-assembly scratch, reused across Next calls
 }
 
 // NewTPCH builds the generator.
@@ -343,34 +397,54 @@ var tpchEdges = map[[2]string][2]string{
 	{"partsupp", "supplier"}: {"ps_suppkey", "s_suppkey"},
 }
 
-// Next implements Generator.
-func (g *TPCH) Next(rng *rand.Rand) string {
-	chain := tpchChains[rng.Intn(len(tpchChains))]
-	var sb strings.Builder
-	sb.WriteString("SELECT COUNT(*), SUM(lineitem.l_partkey) FROM lineitem")
-	joined := map[string]bool{"lineitem": true}
-	for _, t := range chain[1:] {
-		// Find an already-joined table with an edge to t.
-		for prev := range joined {
-			if cols, ok := tpchEdges[[2]string{prev, t}]; ok {
-				fmt.Fprintf(&sb, " JOIN %s ON %s.%s = %s.%s", t, prev, cols[0], t, cols[1])
-				joined[t] = true
-				break
-			}
-			if cols, ok := tpchEdges[[2]string{t, prev}]; ok {
-				fmt.Fprintf(&sb, " JOIN %s ON %s.%s = %s.%s", t, t, cols[0], prev, cols[1])
-				joined[t] = true
-				break
+// tpchPrefixes pre-renders each chain's static SQL through "BETWEEN ",
+// built once per process. Each new table joins against the *earliest*
+// already-joined table it has an edge to (insertion order), so the
+// emitted join tree is deterministic — the old map-iteration scan could
+// pick either endpoint for tables like partsupp that connect to several
+// joined tables, making the query text depend on runtime map order.
+var tpchPrefixes = sync.OnceValue(func() []string {
+	prefixes := make([]string, len(tpchChains))
+	for ci, chain := range tpchChains {
+		var sb strings.Builder
+		sb.WriteString("SELECT COUNT(*), SUM(lineitem.l_partkey) FROM lineitem")
+		joined := []string{"lineitem"}
+		for _, t := range chain[1:] {
+			// Find an already-joined table with an edge to t.
+			for _, prev := range joined {
+				if cols, ok := tpchEdges[[2]string{prev, t}]; ok {
+					fmt.Fprintf(&sb, " JOIN %s ON %s.%s = %s.%s", t, prev, cols[0], t, cols[1])
+					joined = append(joined, t)
+					break
+				}
+				if cols, ok := tpchEdges[[2]string{t, prev}]; ok {
+					fmt.Fprintf(&sb, " JOIN %s ON %s.%s = %s.%s", t, t, cols[0], prev, cols[1])
+					joined = append(joined, t)
+					break
+				}
 			}
 		}
+		sb.WriteString(" WHERE lineitem.l_orderkey BETWEEN ")
+		prefixes[ci] = sb.String()
 	}
-	fmt.Fprintf(&sb, " WHERE lineitem.l_orderkey BETWEEN %d AND %d",
-		rng.Int63n(1<<20), 1<<20+rng.Int63n(1<<20))
+	return prefixes
+})
+
+// Next implements Generator.
+func (g *TPCH) Next(rng *rand.Rand) string {
+	prefix := tpchPrefixes()[rng.Intn(len(tpchChains))]
+	buf := append(g.buf[:0], prefix...)
+	buf = strconv.AppendInt(buf, rng.Int63n(1<<20), 10)
+	buf = append(buf, " AND "...)
+	buf = strconv.AppendInt(buf, 1<<20+rng.Int63n(1<<20), 10)
 	if g.Uniquify {
 		g.counter++
-		fmt.Fprintf(&sb, " /* u%d */", g.counter)
+		buf = append(buf, " /* u"...)
+		buf = strconv.AppendUint(buf, g.counter, 10)
+		buf = append(buf, " */"...)
 	}
-	return sb.String()
+	g.buf = buf
+	return string(buf)
 }
 
 // OLTP generates small point queries over the SALES catalog's dimensions:
@@ -379,6 +453,7 @@ func (g *TPCH) Next(rng *rand.Rand) string {
 type OLTP struct {
 	// DistinctStatements bounds the number of unique query texts.
 	DistinctStatements int
+	stmts              []string // rendered statement pool, built on demand
 }
 
 // NewOLTP builds the generator with 50 distinct statements.
@@ -387,9 +462,8 @@ func NewOLTP() *OLTP { return &OLTP{DistinctStatements: 50} }
 // Name implements Generator.
 func (g *OLTP) Name() string { return "oltp" }
 
-// Next implements Generator.
-func (g *OLTP) Next(rng *rand.Rand) string {
-	n := rng.Intn(g.DistinctStatements)
+// oltpStatement renders the n-th distinct statement.
+func oltpStatement(n int) string {
 	switch n % 3 {
 	case 0:
 		return fmt.Sprintf("SELECT * FROM dim_customer WHERE dim_customer.customer_id = %d", n*101)
@@ -399,6 +473,25 @@ func (g *OLTP) Next(rng *rand.Rand) string {
 		return fmt.Sprintf(
 			"SELECT COUNT(*) FROM dim_store JOIN dim_city ON dim_store.city_id = dim_city.city_id WHERE dim_store.store_id = %d", n*13)
 	}
+}
+
+// Statements returns the generator's complete closed statement set —
+// every text Next can produce. Snapshots pre-fingerprint these so runs
+// never parse them twice.
+func (g *OLTP) Statements() []string {
+	if len(g.stmts) != g.DistinctStatements {
+		g.stmts = make([]string, g.DistinctStatements)
+		for n := range g.stmts {
+			g.stmts[n] = oltpStatement(n)
+		}
+	}
+	return g.stmts
+}
+
+// Next implements Generator: a draw from the rendered statement pool, no
+// per-call formatting.
+func (g *OLTP) Next(rng *rand.Rand) string {
+	return g.Statements()[rng.Intn(g.DistinctStatements)]
 }
 
 // Mix interleaves generators with weights.

@@ -1,28 +1,47 @@
 #!/usr/bin/env bash
-# bench.sh — run the figure benchmarks and emit BENCH_PR3.json with
-# ns/op, allocs/op, and sim-events/sec per benchmark, plus the speedup
-# against the recorded pre-rewrite (PR 2) scheduler baselines.
+# bench.sh — run the figure benchmarks and emit a JSON record (default
+# BENCH_PR5.json) with ns/op, allocs/op, and sim-events/sec per
+# benchmark, plus the speedup against the recorded pre-rewrite (PR 2)
+# scheduler baselines.
 #
 # Usage:
 #   scripts/bench.sh                 # default benchmark set, 1 iteration
+#   scripts/bench.sh -check          # also gate against BENCH_PR3.json:
+#                                    #   fail if sim_events_per_sec drops
+#                                    #   >15% or allocs_per_op rises >15%
 #   BENCH=ClientSweep scripts/bench.sh
 #   COUNT=3 scripts/bench.sh         # average over 3 runs
 #   OUT=/tmp/bench.json scripts/bench.sh
+#   BASELINE=BENCH_PR3.json scripts/bench.sh -check
 #
 # The seed baselines below were measured at commit 37c27ab (PR 2, the
 # goroutine-per-task scheduler) on the same host and load as the PR 3
 # "after" numbers recorded in BENCH_PR3.json; re-measure both on your
-# hardware before comparing absolute values.
+# hardware before comparing absolute values. The -check gate compares
+# only benchmarks present in both records; allocs/op is host-independent,
+# while sim-events/sec carries host variance — the 15% tolerance absorbs
+# normal noise but not an algorithmic regression.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Figure2ThrottleTrace|Figure3Throughput30|ClientSweep}"
+CHECK=0
+if [ "${1:-}" = "-check" ]; then
+    CHECK=1
+fi
+
+BENCH="${BENCH:-Figure2ThrottleTrace|Figure3Throughput30|Figure5Collapse40|ClientSweep}"
+VTBENCH="${VTBENCH:-TimerWheel}"
 COUNT="${COUNT:-1}"
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_PR3.json}"
+OUT="${OUT:-BENCH_PR5.json}"
+BASELINE="${BASELINE:-BENCH_PR3.json}"
 
 raw=$(go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee /dev/stderr)
+if [ -n "$VTBENCH" ]; then
+    raw+=$'\n'
+    raw+=$(go test -run '^$' -bench "$VTBENCH" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem ./internal/vtime | tee /dev/stderr)
+fi
 
 awk -v out="$OUT" '
 BEGIN {
@@ -63,3 +82,40 @@ END {
 ' <<<"$raw"
 
 echo "wrote $OUT" >&2
+
+if [ "$CHECK" = 1 ]; then
+    if [ ! -f "$BASELINE" ]; then
+        echo "bench.sh -check: baseline $BASELINE not found" >&2
+        exit 1
+    fi
+    # Each benchmark record is one line of our own JSON; extract
+    # name/allocs/events pairs and compare the intersection.
+    extract() {
+        sed -n 's/.*"name": "\([^"]*\)", "ns_per_op": [0-9]*, "allocs_per_op": \([0-9]*\), "sim_events_per_sec": \([0-9]*\).*/\1 \2 \3/p' "$1"
+    }
+    extract "$BASELINE" | sort >/tmp/bench_base.$$
+    extract "$OUT" | sort >/tmp/bench_new.$$
+    fail=0
+    while read -r name ballocs bevents; do
+        line=$(grep "^$name " /tmp/bench_new.$$ || true)
+        [ -z "$line" ] && continue
+        read -r _ nallocs nevents <<<"$line"
+        # allocs/op must not rise more than 15% over the baseline.
+        if [ "$ballocs" -gt 0 ] && [ $((nallocs * 100)) -gt $((ballocs * 115)) ]; then
+            echo "PERF REGRESSION: $name allocs/op $nallocs > ${ballocs}*1.15" >&2
+            fail=1
+        fi
+        # sim-events/sec must not drop more than 15% under the baseline.
+        if [ "$bevents" -gt 0 ] && [ $((nevents * 100)) -lt $((bevents * 85)) ]; then
+            echo "PERF REGRESSION: $name sim_events_per_sec $nevents < ${bevents}*0.85" >&2
+            fail=1
+        fi
+        echo "perf-gate: $name allocs/op $nallocs (base $ballocs), sim-events/sec $nevents (base $bevents)" >&2
+    done </tmp/bench_base.$$
+    rm -f /tmp/bench_base.$$ /tmp/bench_new.$$
+    if [ "$fail" = 1 ]; then
+        echo "bench.sh -check: performance regression against $BASELINE" >&2
+        exit 1
+    fi
+    echo "bench.sh -check: no regression against $BASELINE" >&2
+fi
