@@ -126,7 +126,14 @@ type Component struct {
 	usage  func() int64
 	notify NotifyFunc
 
-	samples []sample // ring buffer, len <= cfg.SampleWindow
+	// Usage-sample ring: samples holds up to the configured window, shead
+	// is the next write slot, sn the live count. A true ring (not a
+	// forward re-slice) so the backing array is allocated once and never
+	// churns — the broker ticks every interval for every component, and
+	// the old slide-forward window re-allocated on every wrap.
+	samples []sample
+	shead   int
+	sn      int
 	last    Notification
 }
 
@@ -319,9 +326,15 @@ func (b *Broker) computeTargets(available int64, predicted []int64) []int64 {
 }
 
 func (c *Component) addSample(t time.Duration, v int64, window int) {
-	c.samples = append(c.samples, sample{t: t, v: v})
-	if len(c.samples) > window {
-		c.samples = c.samples[len(c.samples)-window:]
+	if len(c.samples) != window {
+		// First sample, or a reconfigured window: rebuild the ring.
+		c.samples = make([]sample, window)
+		c.shead, c.sn = 0, 0
+	}
+	c.samples[c.shead] = sample{t: t, v: v}
+	c.shead = (c.shead + 1) % window
+	if c.sn < window {
+		c.sn++
 	}
 }
 
@@ -330,17 +343,19 @@ func (c *Component) addSample(t time.Duration, v int64, window int) {
 // negative, and a shrinking trend is honored (the paper's broker mitigates
 // wild swings by reacting to trends in both directions).
 func (c *Component) predict(horizon time.Duration) int64 {
-	n := len(c.samples)
+	n := c.sn
 	if n == 0 {
 		return 0
 	}
-	last := c.samples[n-1]
+	last := c.samples[(c.shead-1+len(c.samples))%len(c.samples)]
 	if n == 1 {
 		return last.v
 	}
-	// Least-squares slope in bytes per second.
+	// Least-squares slope in bytes per second. The regression is
+	// order-independent, so the ring is summed in slot order.
 	var sumT, sumV, sumTT, sumTV float64
-	for _, s := range c.samples {
+	for i := 0; i < n; i++ {
+		s := c.samples[(c.shead-n+i+len(c.samples))%len(c.samples)]
 		t := s.t.Seconds()
 		v := float64(s.v)
 		sumT += t

@@ -86,7 +86,16 @@ type Pool struct {
 	reads     freelist.List[readManyOp]
 	delays    freelist.List[diskDelayOp]
 	frameFree freelist.List[frame]
+	// frameArena is the current carve-from chunk backing newFrame: growth
+	// costs one allocation per frameChunk frames instead of one each, and
+	// evicted frames recycle through frameFree, so a pool that has reached
+	// its working set allocates nothing per admission.
+	frameArena []frame
 }
+
+// frameChunk sizes the frame arena's chunks (64 frames ≈ one pool-growth
+// burst under the broker's default targets).
+const frameChunk = 64
 
 // New creates a pool charging frames to tracker.
 func New(cfg Config, tracker *mem.Tracker) *Pool {
@@ -406,13 +415,20 @@ func (p *Pool) drop(f *frame) {
 	p.frameFree.Put(f)
 }
 
-// newFrame returns a recycled or fresh frame for key, referenced.
+// newFrame returns a recycled or fresh frame for key, referenced. Fresh
+// frames are carved from the chunk arena.
 func (p *Pool) newFrame(key storage.ExtentKey) *frame {
 	if f := p.frameFree.Get(); f != nil {
 		f.key, f.ref, f.pinned = key, true, 0
 		return f
 	}
-	return &frame{key: key, ref: true}
+	if len(p.frameArena) == 0 {
+		p.frameArena = make([]frame, frameChunk)
+	}
+	f := &p.frameArena[0]
+	p.frameArena = p.frameArena[1:]
+	f.key, f.ref = key, true
+	return f
 }
 
 // ExtentBytes returns the frame size.

@@ -282,6 +282,8 @@ type Server struct {
 	queryMemo map[string]queryInfo
 	rngs      freelist.List[rand.Rand]
 	workOps   freelist.List[compileWorkOp]
+	queries   freelist.List[plan.Query]
+	compCtxs  freelist.List[compileCtx]
 
 	closed bool
 }
@@ -608,6 +610,19 @@ func (s *Server) putRNG(r *rand.Rand) {
 	s.rngs.Put(r)
 }
 
+// getQuery returns a recycled query shell for ParseInto; the parse
+// Resets it, so stale contents (even from a failed parse) are harmless.
+func (s *Server) getQuery() *plan.Query {
+	if q := s.queries.Get(); q != nil {
+		return q
+	}
+	return new(plan.Query)
+}
+
+func (s *Server) putQuery(q *plan.Query) {
+	s.queries.Put(q)
+}
+
 // Submit runs one query end to end on behalf of the calling task. The
 // returned error (if any) has already been recorded in the metrics.
 func (s *Server) Submit(t *vtime.Task, sql string) error {
@@ -622,9 +637,9 @@ func (s *Server) Submit(t *vtime.Task, sql string) error {
 	}
 	var q *plan.Query
 	if !seen {
-		var err error
-		q, err = sqlparser.Parse(sql)
-		if err != nil {
+		q = s.getQuery()
+		if err := sqlparser.ParseInto(q, sql); err != nil {
+			s.putQuery(q)
 			s.rec.RecordError(t.Now(), ErrKindOther)
 			return err
 		}
@@ -644,20 +659,25 @@ func (s *Server) Submit(t *vtime.Task, sql string) error {
 	p, cached := s.cache.Get(info.fp)
 	if !cached {
 		if q == nil {
-			var err error
-			q, err = sqlparser.Parse(sql)
-			if err != nil {
+			q = s.getQuery()
+			if err := sqlparser.ParseInto(q, sql); err != nil {
+				s.putQuery(q)
 				s.rec.RecordError(t.Now(), ErrKindOther)
 				return err
 			}
 		}
 		var err error
 		p, err = s.compile(t, q)
+		s.putQuery(q)
+		q = nil
 		if err != nil {
 			s.rec.RecordError(t.Now(), classify(err))
 			return err
 		}
 		s.cache.Put(info.fp, p, t.Now())
+	}
+	if q != nil {
+		s.putQuery(q)
 	}
 
 	rng := s.getRNG(info.seed)
@@ -766,6 +786,51 @@ func (s *Server) stageRamp(t *vtime.Task, comp *core.Compilation, total int64) e
 // sized from the memo). Costing scratch is freed once codegen has
 // consumed it; everything else is released when the compilation
 // closes.
+// compileCtx carries one compilation's optimizer hook state. It is
+// pooled, and the three hook func values are bound to the ctx once when
+// it is first created — starting a compilation rewrites the per-call
+// fields in place instead of allocating fresh closures (the former
+// single largest allocation source in a sweep).
+type compileCtx struct {
+	s    *Server
+	t    *vtime.Task
+	comp *core.Compilation
+	// scale is CompileStages.CostingScale when the compilation is
+	// staged, else 0 (plain memo charges).
+	scale       float64
+	costingHeld int64
+	hooks       optimizer.Hooks
+}
+
+// charge forwards memo growth to the compilation. When staged, the
+// footprint the gateways see grows scale+1 times as fast as the memo —
+// exploration's memory is memo plus costing scratch.
+func (c *compileCtx) charge(n int64) error {
+	if c.scale > 0 {
+		extra := int64(c.scale * float64(n))
+		if err := c.comp.Alloc(n + extra); err != nil {
+			return err
+		}
+		c.costingHeld += extra
+		return nil
+	}
+	return c.comp.Alloc(n)
+}
+
+func (c *compileCtx) work(tasks int) { c.s.compileWork(c.t, tasks) }
+
+func (c *compileCtx) bestEffort() bool { return c.comp.ShouldYieldBestEffort() }
+
+func (s *Server) getCompileCtx(t *vtime.Task, comp *core.Compilation, scale float64) *compileCtx {
+	c := s.compCtxs.Get()
+	if c == nil {
+		c = &compileCtx{s: s}
+		c.hooks = optimizer.Hooks{Charge: c.charge, Work: c.work, BestEffort: c.bestEffort}
+	}
+	c.t, c.comp, c.scale, c.costingHeld = t, comp, scale, 0
+	return c
+}
+
 func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 	comp := s.gov.Begin(t, "compile")
 	start := t.Now()
@@ -776,26 +841,16 @@ func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 			return nil, err
 		}
 	}
-	charge := comp.Alloc
-	var costingHeld int64
+	scale := 0.0
 	if staged && st.CostingScale > 0 {
-		// Exploration's memory is memo plus costing scratch: the
-		// footprint the gateways see grows CostingScale+1 times as fast
-		// as the memo, across the compilation's whole lifetime.
-		charge = func(n int64) error {
-			extra := int64(st.CostingScale * float64(n))
-			if err := comp.Alloc(n + extra); err != nil {
-				return err
-			}
-			costingHeld += extra
-			return nil
-		}
+		scale = st.CostingScale
 	}
-	p, err := s.opt.Optimize(q, optimizer.Hooks{
-		Charge:     charge,
-		Work:       func(tasks int) { s.compileWork(t, tasks) },
-		BestEffort: comp.ShouldYieldBestEffort,
-	})
+	ctx := s.getCompileCtx(t, comp, scale)
+	p, err := s.opt.Optimize(q, ctx.hooks)
+	costingHeld := ctx.costingHeld
+	// Optimize no longer holds the hooks once it returns (the pooled run
+	// drops them), so the ctx can be recycled before error handling.
+	s.compCtxs.Put(ctx)
 	if err != nil {
 		// Alloc failures already rolled the compilation back; other
 		// errors (validation) abort explicitly. Both are idempotent.

@@ -128,6 +128,14 @@ func (r *Result) Throughput() float64 {
 
 // Run executes one configuration to completion in virtual time.
 func Run(o Options) (*Result, error) {
+	return RunOn(nil, o)
+}
+
+// RunOn is Run on a caller-supplied scheduler, which must be idle (nil
+// builds a private one). Sweep shards pass their pooled scheduler here
+// so back-to-back runs reuse its run queue, timer wheel, and task slab;
+// results are bit-identical either way.
+func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	if o.Clients <= 0 {
 		return nil, fmt.Errorf("harness: no clients")
 	}
@@ -164,7 +172,9 @@ func Run(o Options) (*Result, error) {
 			snap.Workload, snap.Scale, o.Workload, o.Scale)
 	}
 
-	sched := vtime.NewScheduler()
+	if sched == nil {
+		sched = vtime.NewScheduler()
+	}
 	srv, err := engine.NewShared(ecfg, snap.Catalog, snap.prebuilt(), sched)
 	if err != nil {
 		return nil, err

@@ -257,6 +257,14 @@ type Tracker struct {
 	overcommit  bool  // may reserve past physical up to the commit limit
 	allocs      uint64
 	fails       uint64
+
+	// oomErr is the tracker's reusable failure value. Under the collapse
+	// regime every grant retry produces an OOM error, so Reserve rewrites
+	// this one value in place instead of allocating per failure. The
+	// returned error is valid until the tracker's next failed
+	// reservation; callers inspect or render it immediately (errors.Is /
+	// classify), never retain it.
+	oomErr oomError
 }
 
 // SetGroup places the tracker in a sub-budget group. Must be called
@@ -295,9 +303,20 @@ func (t *Tracker) Limit() int64 { return t.limit }
 // component simply cannot grow until it drops below the new cap.
 func (t *Tracker) SetLimit(n int64) { t.limit = n }
 
+// failOOM records a failed reservation and returns the tracker's
+// in-place failure value (see Tracker.oomErr).
+func (t *Tracker) failOOM(kind int8, group string, a, b, c int64) error {
+	t.fails++
+	t.budget.oomCount++
+	t.oomErr = oomError{tracker: t.name, kind: kind, group: group, a: a, b: b, c: c}
+	return &t.oomErr
+}
+
 // Reserve charges n bytes to the component, running budget reclaimers if
 // the machine is out of memory. It returns ErrOutOfMemory (wrapped with
-// component context) when the reservation cannot be satisfied.
+// component context) when the reservation cannot be satisfied. The
+// returned error value is reused by the tracker's next failure, so it
+// must be inspected before the next Reserve call, not retained.
 func (t *Tracker) Reserve(n int64) error {
 	if n < 0 {
 		panic("mem: negative reservation")
@@ -306,16 +325,12 @@ func (t *Tracker) Reserve(n int64) error {
 		return nil
 	}
 	if t.limit > 0 && t.used+n > t.limit {
-		t.fails++
-		t.budget.oomCount++
-		return &oomError{tracker: t.name, kind: oomLimit, a: t.limit}
+		return t.failOOM(oomLimit, "", t.limit, 0, 0)
 	}
 	if g := t.group; g != nil && g.used+n > g.cap {
 		g.reclaim(g.used + n - g.cap)
 		if g.used+n > g.cap {
-			t.fails++
-			t.budget.oomCount++
-			return &oomError{tracker: t.name, kind: oomGroup, group: g.name, a: g.used, b: g.cap}
+			return t.failOOM(oomGroup, g.name, g.used, g.cap, 0)
 		}
 	}
 	if t.budget.used+n > t.budget.total {
@@ -330,10 +345,7 @@ func (t *Tracker) Reserve(n int64) error {
 			ceiling = t.budget.commitLimit
 		}
 		if t.budget.used+n > ceiling {
-			t.fails++
-			t.budget.oomCount++
-			return &oomError{tracker: t.name, kind: oomBudget,
-				a: t.budget.used, b: t.budget.total, c: t.budget.CommitLimit()}
+			return t.failOOM(oomBudget, "", t.budget.used, t.budget.total, t.budget.CommitLimit())
 		}
 	}
 	t.budget.used += n

@@ -29,27 +29,59 @@ const (
 	KindJoin
 )
 
-// Expr is one logical alternative inside a group.
+// Expr is one logical alternative inside a group. Expressions of one
+// group form an intrusive singly-linked list in insertion order (the
+// next link lives in the Expr itself, carved from the same arena), so
+// appending an alternative never allocates — the memo's storage is
+// struct-of-arenas all the way down.
 type Expr struct {
 	Kind  ExprKind
 	Table *catalog.Table // KindLeaf
 	L, R  GroupID        // KindJoin
+
+	next *Expr // intrusive group-list link
 
 	// Rule-application flags prevent re-deriving the same alternatives.
 	CommuteApplied bool
 	AssocApplied   bool
 }
 
+// Next returns the expression inserted after e in its group (nil at the
+// tail). Iteration order is exactly insertion order.
+func (e *Expr) Next() *Expr { return e.next }
+
 // Group holds logically-equivalent expressions producing the same join
 // set.
 type Group struct {
-	ID    GroupID
-	Set   uint64 // bitset of table IDs covered
-	Card  float64
-	Exprs []*Expr
+	ID   GroupID
+	Set  uint64 // bitset of table IDs covered
+	Card float64
 
-	// Exploration cursor: Exprs[:Explored] have had rules applied.
-	Explored int
+	// Intrusive expression list plus the exploration cursor: every
+	// expression up to and including lastExplored has had rules applied.
+	head, tail   *Expr
+	lastExplored *Expr
+	nExprs       int
+}
+
+// FirstExpr returns the group's first expression (nil when empty).
+func (g *Group) FirstExpr() *Expr { return g.head }
+
+// Len returns the number of expressions in the group.
+func (g *Group) Len() int { return g.nExprs }
+
+// PopUnexplored returns the next expression rules have not yet been
+// applied to, advancing the exploration cursor, or nil when every
+// expression (including ones appended since the last call) is explored.
+func (g *Group) PopUnexplored() *Expr {
+	e := g.head
+	if g.lastExplored != nil {
+		e = g.lastExplored.next
+	}
+	if e != nil {
+		g.lastExplored = e
+	}
+	return e
 }
 
 // ChargeFunc charges n simulated bytes of compilation memory. Returning an
@@ -218,8 +250,8 @@ func (m *Memo) getOrAddGroup(set uint64, card float64) (*Group, bool, error) {
 	g.ID = GroupID(len(m.groups))
 	g.Set = set
 	g.Card = card
-	g.Exprs = g.Exprs[:0] // retained capacity from a prior life
-	g.Explored = 0
+	g.head, g.tail, g.lastExplored = nil, nil, nil // stale links from a prior life
+	g.nExprs = 0
 	m.groups = append(m.groups, g)
 	m.bySet.Put(set, int32(g.ID))
 	m.groupCount++
@@ -291,9 +323,16 @@ func (m *Memo) addExpr(g *Group, kind ExprKind, t *catalog.Table, l, r GroupID) 
 	e.Kind = kind
 	e.Table = t
 	e.L, e.R = l, r
+	e.next = nil
 	e.CommuteApplied = false
 	e.AssocApplied = false
-	g.Exprs = append(g.Exprs, e)
+	if g.tail == nil {
+		g.head = e
+	} else {
+		g.tail.next = e
+	}
+	g.tail = e
+	g.nExprs++
 	m.exprCount++
 	return nil
 }

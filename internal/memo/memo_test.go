@@ -61,8 +61,8 @@ func TestAddJoinCreatesUnionGroup(t *testing.T) {
 	if j2 != j {
 		t.Fatal("commuted join created a new group")
 	}
-	if len(j.Exprs) != 2 {
-		t.Fatalf("group exprs = %d, want 2", len(j.Exprs))
+	if j.Len() != 2 {
+		t.Fatalf("group exprs = %d, want 2", j.Len())
 	}
 	// Exact duplicate is rejected.
 	_, added3, _ := m.AddJoin(a, b, 5000)

@@ -169,3 +169,76 @@ func TestQuickHistogramMonotoneQuantiles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCounterGaugeRoundTrip writes a deterministic mix of counters
+// (completions, errors by kind) and gauge samples (a trace) and reads
+// every value back through each accessor: what goes in must come out,
+// whichever view reads it.
+func TestCounterGaugeRoundTrip(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	if r.SliceDur() != time.Minute {
+		t.Fatalf("SliceDur = %v", r.SliceDur())
+	}
+	writes := []struct {
+		at   time.Duration
+		kind string // "" = completion
+	}{
+		{30 * time.Second, ""},
+		{30 * time.Second, "oom"},
+		{90 * time.Second, ""},
+		{90 * time.Second, "gateway-timeout"},
+		{91 * time.Second, "oom"},
+		{150 * time.Second, ""},
+	}
+	for _, w := range writes {
+		if w.kind == "" {
+			r.RecordCompletion(w.at)
+		} else {
+			r.RecordError(w.at, w.kind)
+		}
+	}
+	if r.Completed() != 3 {
+		t.Fatalf("Completed = %d, want 3", r.Completed())
+	}
+	errs := r.Errors()
+	if errs["oom"] != 2 || errs["gateway-timeout"] != 1 || len(errs) != 2 {
+		t.Fatalf("Errors = %v", errs)
+	}
+	if r.TotalErrors() != 3 {
+		t.Fatalf("TotalErrors = %d", r.TotalErrors())
+	}
+	// Window sums must agree with the totals and with per-slice series.
+	horizon := 4 * time.Minute
+	if got := r.CompletionsIn(0, horizon); got != r.Completed() {
+		t.Fatalf("CompletionsIn(all) = %d, want %d", got, r.Completed())
+	}
+	if got := r.ErrorsIn(0, horizon); got != r.TotalErrors() {
+		t.Fatalf("ErrorsIn(all) = %d, want %d", got, r.TotalErrors())
+	}
+	var fromSeries int64
+	for _, kind := range []string{"oom", "gateway-timeout"} {
+		for _, p := range r.ErrorSeries(kind, 0, horizon) {
+			fromSeries += p.V
+		}
+	}
+	if fromSeries != r.TotalErrors() {
+		t.Fatalf("error series sum = %d, want %d", fromSeries, r.TotalErrors())
+	}
+
+	tr := NewTrace("compile-bytes")
+	if tr.Name() != "compile-bytes" {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+	samples := []TracePoint{{0, 100}, {time.Minute, 250}, {2 * time.Minute, 75}}
+	for _, s := range samples {
+		tr.Add(s.T, s.V)
+	}
+	for _, s := range samples {
+		if got := tr.At(s.T); got != s.V {
+			t.Fatalf("At(%v) = %d, want %d", s.T, got, s.V)
+		}
+	}
+	if tr.Max() != 250 {
+		t.Fatalf("Max = %d", tr.Max())
+	}
+}

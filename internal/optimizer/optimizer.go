@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"compilegate/internal/catalog"
 	"compilegate/internal/memo"
@@ -69,19 +70,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// Optimizer holds immutable state shared across optimizations, plus
-// free lists of per-optimization state. Compilations of one scheduler
-// interleave only at blocking points, so the free lists need no locking;
-// each in-flight compilation holds its own run and memo until it
-// finishes or aborts.
+// Optimizer holds immutable state shared across optimizations. Per-
+// optimization state (runs and memos) comes from process-wide pools:
+// each in-flight compilation holds its run and memo until it finishes
+// or aborts, and recycled instances keep their grown arenas, so a
+// sweep's later runs compile without re-paying the first run's
+// arena warm-up.
 type Optimizer struct {
 	est *stats.Estimator
 	cat *catalog.Catalog
 	cfg Config
-
-	freeRuns  []*run
-	freeMemos []*memo.Memo
 }
+
+// runPool and memoPool recycle per-optimization state across every
+// optimizer in the process. Optimizers on different sweep shards drain
+// and fill them concurrently, so they must be synchronized pools; a
+// pooled instance carries only capacity (arena chunks, map buckets) —
+// getRun and memo.Reset restore observable state bit-identically, so
+// reuse never affects results.
+var (
+	runPool  = sync.Pool{New: func() any { return &run{tableOf: make(map[string]*catalog.Table)} }}
+	memoPool = sync.Pool{New: func() any { return memo.New(memo.Config{}, nil) }}
+)
 
 // New creates an optimizer over the estimator's catalog.
 func New(est *stats.Estimator, cfg Config) *Optimizer {
@@ -109,7 +119,7 @@ type run struct {
 	leafSel  [64]float64               // combined filter selectivity by table ID
 	adjacent [64]uint64                // neighbor bitset by table ID
 	edges    []joinEdge                // join edges in insertion order (deterministic)
-	edgeSeen map[[2]int]bool
+	edgeSeen u64hash.Set
 	cardMemo u64hash.MapF64
 	// nbr caches each group's neighborhood — the union of adjacent[] over
 	// its tables — indexed by group ID, so the connectivity test in the
@@ -136,25 +146,10 @@ type run struct {
 
 // getRun returns a pooled, reset run with a pooled memo attached.
 func (o *Optimizer) getRun(q *plan.Query, hooks Hooks) *run {
-	var r *run
-	if n := len(o.freeRuns); n > 0 {
-		r = o.freeRuns[n-1]
-		o.freeRuns = o.freeRuns[:n-1]
-	} else {
-		r = &run{
-			o:        o,
-			tableOf:  make(map[string]*catalog.Table),
-			edgeSeen: make(map[[2]int]bool),
-		}
-	}
-	var m *memo.Memo
-	if n := len(o.freeMemos); n > 0 {
-		m = o.freeMemos[n-1]
-		o.freeMemos = o.freeMemos[:n-1]
-		m.Reset(o.cfg.Memo, hooks.Charge)
-	} else {
-		m = memo.New(o.cfg.Memo, hooks.Charge)
-	}
+	r := runPool.Get().(*run)
+	m := memoPool.Get().(*memo.Memo)
+	m.Reset(o.cfg.Memo, hooks.Charge)
+	r.o = o
 	r.q, r.hooks, r.m = q, hooks, m
 	r.terms = r.terms[:0]
 	r.tabs = r.tabs[:0]
@@ -163,7 +158,7 @@ func (o *Optimizer) getRun(q *plan.Query, hooks Hooks) *run {
 	r.leafSel = [64]float64{}
 	r.adjacent = [64]uint64{}
 	r.edges = r.edges[:0]
-	clear(r.edgeSeen)
+	r.edgeSeen.Reset()
 	r.cardMemo.Reset()
 	r.nbr = r.nbr[:0]
 	r.tasks, r.budget, r.sinceWork = 0, 0, 0
@@ -174,10 +169,10 @@ func (o *Optimizer) getRun(q *plan.Query, hooks Hooks) *run {
 // putRun recycles a finished run and its memo. The returned plan holds
 // no references into either.
 func (o *Optimizer) putRun(r *run) {
-	o.freeMemos = append(o.freeMemos, r.m)
-	r.q, r.m = nil, nil
+	memoPool.Put(r.m)
+	r.o, r.q, r.m = nil, nil, nil
 	r.hooks = Hooks{}
-	o.freeRuns = append(o.freeRuns, r)
+	runPool.Put(r)
 }
 
 // Optimize compiles q to a physical plan. Errors are either query errors
@@ -265,11 +260,9 @@ func (r *run) resolve() error {
 		}
 		r.adjacent[a.ID] |= 1 << uint(b.ID)
 		r.adjacent[b.ID] |= 1 << uint(a.ID)
-		key := edgeKey(a.ID, b.ID)
-		if r.edgeSeen[key] {
+		if !r.edgeSeen.Add(edgeKey(a.ID, b.ID)) {
 			continue
 		}
-		r.edgeSeen[key] = true
 		r.edges = append(r.edges, joinEdge{
 			mask: 1<<uint(a.ID) | 1<<uint(b.ID),
 			sel:  r.o.est.JoinSelectivity(j.A, j.B),
@@ -283,11 +276,13 @@ type joinEdge struct {
 	sel  float64
 }
 
-func edgeKey(a, b int) [2]int {
+// edgeKey packs an unordered table-ID pair into one nonzero word for
+// the dedup set (IDs are offset by one because u64hash reserves key 0).
+func edgeKey(a, b int) uint64 {
 	if a > b {
 		a, b = b, a
 	}
-	return [2]int{a, b}
+	return uint64(a+1)<<32 | uint64(b+1)
 }
 
 // cardOfSet estimates the cardinality of joining exactly the tables in
@@ -440,9 +435,7 @@ func (r *run) explore(root *memo.Group) error {
 		// Iterate by index: AllGroups grows while we iterate.
 		for gi := 0; gi < len(r.m.AllGroups()); gi++ {
 			g := r.m.Group(memo.GroupID(gi))
-			for g.Explored < len(g.Exprs) {
-				e := g.Exprs[g.Explored]
-				g.Explored++
+			for e := g.PopUnexplored(); e != nil; e = g.PopUnexplored() {
 				progressed = true
 				if err := r.applyRules(g, e); err != nil {
 					flushWork()
@@ -482,7 +475,7 @@ func (r *run) applyRules(g *memo.Group, e *memo.Expr) error {
 	// Associate: (A ⋈ B) ⋈ R  =>  A ⋈ (B ⋈ R), for every join shape of L.
 	if !e.AssocApplied {
 		e.AssocApplied = true
-		for _, le := range l.Exprs {
+		for le := l.FirstExpr(); le != nil; le = le.Next() {
 			if le.Kind != memo.KindJoin {
 				continue
 			}
@@ -490,7 +483,20 @@ func (r *run) applyRules(g *memo.Group, e *memo.Expr) error {
 			if !r.groupsConnected(b, rt) {
 				continue // would introduce a cross product
 			}
-			inner, added, err := r.m.AddJoin(b, rt, r.cardOfSet(b.Set|rt.Set))
+			// Look the inner group up before estimating its cardinality:
+			// once exploration converges the group almost always exists,
+			// and AddJoin would discard the estimate — cardOfSet is the
+			// collapse regime's hottest function, so only pay it when the
+			// group is genuinely new.
+			var inner *memo.Group
+			var added bool
+			var err error
+			if g2, ok := r.m.GroupBySet(b.Set | rt.Set); ok {
+				inner = g2
+				added, err = r.m.AddJoinInto(g2, b, rt)
+			} else {
+				inner, added, err = r.m.AddJoin(b, rt, r.cardOfSet(b.Set|rt.Set))
+			}
 			if err != nil {
 				return err
 			}
@@ -639,7 +645,7 @@ func (r *run) bestOf(g *memo.Group, memoized []costed) *costed {
 	}
 	cm := r.o.cfg.Cost
 	out := costed{cost: math.Inf(1), ok: true}
-	for _, e := range g.Exprs {
+	for e := g.FirstExpr(); e != nil; e = e.Next() {
 		switch e.Kind {
 		case memo.KindLeaf:
 			t := e.Table

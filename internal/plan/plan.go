@@ -51,6 +51,34 @@ type Query struct {
 // queries by join count).
 func (q *Query) NumJoins() int { return len(q.Joins) }
 
+// Reset empties q for reuse, retaining the backing storage of every
+// slice. Pooled queries flow through this so a steady-state parse
+// allocates nothing; use AppendTable (not plain append) to keep each
+// recycled table term's predicate capacity too.
+func (q *Query) Reset() {
+	q.Text = ""
+	q.Tables = q.Tables[:0]
+	q.Joins = q.Joins[:0]
+	q.GroupBy = q.GroupBy[:0]
+	q.Aggregates = 0
+}
+
+// AppendTable appends a term for name and returns it. When the tables
+// slice still has capacity from a previous parse, the recycled term's
+// predicate list keeps its storage (truncated to empty), so re-parsing
+// a same-shaped statement reserves nothing.
+func (q *Query) AppendTable(name string) *TableTerm {
+	if len(q.Tables) < cap(q.Tables) {
+		q.Tables = q.Tables[:len(q.Tables)+1]
+		t := &q.Tables[len(q.Tables)-1]
+		t.Name = name
+		t.Preds = t.Preds[:0]
+		return t
+	}
+	q.Tables = append(q.Tables, TableTerm{Name: name})
+	return &q.Tables[len(q.Tables)-1]
+}
+
 // Table returns the term for the named table, or nil.
 func (q *Query) Table(name string) *TableTerm {
 	for i := range q.Tables {

@@ -1,0 +1,74 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartNoPaths pins the no-op contract every command relies on when
+// the flags are unset: Start("", "") must succeed and return a stop
+// function that is safe to call.
+func TestStartNoPaths(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+// TestStartWritesProfiles is the flag-wiring smoke test: with both
+// paths set, Start begins a CPU profile and stop writes both a CPU and
+// a heap profile. The files must exist and be non-empty (pprof's gzip
+// framing guarantees non-trivial output even for an idle interval).
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+// TestStartMemOnly covers the memPath-only wiring: no CPU profile is
+// started, and stop writes the heap profile.
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.prof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatalf("mem profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("mem profile is empty")
+	}
+}
+
+// TestStartBadCPUPath pins the error path: an uncreatable CPU profile
+// path must surface as an error, not a silent no-op.
+func TestStartBadCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "missing-dir", "cpu.prof"), ""); err == nil {
+		t.Fatal("Start with uncreatable cpu path succeeded")
+	}
+}

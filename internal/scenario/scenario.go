@@ -6,8 +6,8 @@
 // *how*. A Registry holds every paper experiment by name so commands,
 // examples, and benchmarks resolve configurations instead of hand-wiring
 // harness options, and RunSweep executes independent scenarios
-// concurrently on real cores (each run owns a private vtime.Scheduler,
-// so per-run determinism is untouched).
+// concurrently across vtime event-loop shards (each run starts from
+// fresh scheduler state, so per-run determinism is untouched).
 package scenario
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"compilegate/internal/engine"
 	"compilegate/internal/harness"
+	"compilegate/internal/vtime"
 	"compilegate/internal/workload"
 )
 
@@ -100,10 +101,16 @@ func (s Scenario) Options() harness.Options {
 
 // Run executes the scenario to completion in virtual time.
 func (s Scenario) Run() (*harness.Result, error) {
+	return s.RunOn(nil)
+}
+
+// RunOn executes the scenario on the supplied idle scheduler (nil
+// builds a private one); sweep shards pass their pooled scheduler.
+func (s Scenario) RunOn(sched *vtime.Scheduler) (*harness.Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return harness.Run(s.Options())
+	return harness.RunOn(sched, s.Options())
 }
 
 // Baseline returns the unthrottled twin of the scenario — the

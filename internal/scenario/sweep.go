@@ -1,10 +1,10 @@
 package scenario
 
 import (
-	"runtime"
-	"sync"
+	"time"
 
 	"compilegate/internal/harness"
+	"compilegate/internal/vtime"
 )
 
 // SweepResult is one scenario's outcome within a sweep.
@@ -14,12 +14,15 @@ type SweepResult struct {
 	Err      error
 }
 
-// RunSweep executes the scenarios concurrently on a bounded worker pool
-// and returns their outcomes in input order. Each run builds a private
-// vtime.Scheduler, server, and client population, so runs share no
-// mutable state: a sweep returns results identical to running every
-// scenario serially, while the wall-clock cost drops to roughly
-// ceil(len(scenarios)/workers) serial runs.
+// RunSweep executes the scenarios across vtime event-loop shards and
+// returns their outcomes in input order. Scenario i runs on shard
+// i%workers (static placement, no work stealing), each shard reusing
+// one scheduler — run queue, timer wheel, task slab — across its whole
+// job stream via Reset. Runs share no mutable state, and every run
+// starts from the fresh-scheduler state, so a sweep returns results
+// bit-identical to running every scenario serially at any worker count
+// (pinned by the shard-invariance test), while the wall-clock cost
+// drops to roughly the slowest shard's share.
 //
 // workers <= 0 uses GOMAXPROCS.
 func RunSweep(scenarios []Scenario, workers int) []SweepResult {
@@ -27,30 +30,16 @@ func RunSweep(scenarios []Scenario, workers int) []SweepResult {
 	if len(scenarios) == 0 {
 		return out
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
-
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				s := scenarios[i]
-				r, err := s.Run()
-				out[i] = SweepResult{Scenario: s, Result: r, Err: err}
-			}
-		}()
-	}
-	for i := range scenarios {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	sh := vtime.NewShards(workers)
+	defer sh.Close()
+	sh.Run(len(scenarios), func(i int, sched *vtime.Scheduler) (time.Duration, error) {
+		s := scenarios[i]
+		r, err := s.RunOn(sched)
+		out[i] = SweepResult{Scenario: s, Result: r, Err: err}
+		return sched.Now(), err
+	})
 	return out
 }

@@ -56,18 +56,31 @@ var lexerPool = sync.Pool{New: func() any { return &lexer{} }}
 // Parse converts SQL text to a plan.Query. The returned query carries the
 // original text.
 func Parse(sql string) (*plan.Query, error) {
+	q := new(plan.Query)
+	if err := ParseInto(q, sql); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseInto parses sql into q, which is Reset first: its slices keep
+// their backing storage, so a pooled query re-parses without
+// allocating. On error q holds partial state and must be Reset (or
+// re-ParseInto) before use.
+func ParseInto(q *plan.Query, sql string) error {
+	q.Reset()
 	l := lexerPool.Get().(*lexer)
 	l.lex(sql)
-	p := &parser{lex: l}
-	q, err := p.parse()
+	p := parser{lex: l, q: q}
+	err := p.parse()
 	l.src = l.src[:0]
 	l.pos = 0
 	lexerPool.Put(l)
 	if err != nil {
-		return nil, fmt.Errorf("sqlparser: %w", err)
+		return fmt.Errorf("sqlparser: %w", err)
 	}
 	q.Text = sql
-	return q, nil
+	return nil
 }
 
 // keywords interns the lower-case form of the dialect's (upper-case)
@@ -127,6 +140,15 @@ type token struct {
 	num  int64
 }
 
+// symbolText interns every single-byte symbol's text so emitting a
+// symbol token never allocates (string(c) would heap-allocate per call).
+var symbolText = func() (t [256]string) {
+	for _, c := range []byte("(),.=<>*") {
+		t[c] = string([]byte{c})
+	}
+	return
+}()
+
 type lexer struct {
 	src []token
 	pos int
@@ -175,7 +197,7 @@ func (l *lexer) lex(s string) {
 			l.src = append(l.src, token{kind: tokSymbol, text: ">="})
 			i += 2
 		case strings.ContainsRune("(),.=<>*", rune(c)):
-			l.src = append(l.src, token{kind: tokSymbol, text: string(c)})
+			l.src = append(l.src, token{kind: tokSymbol, text: symbolText[c]})
 			i++
 		case c == '\'':
 			j := i + 1
@@ -215,7 +237,7 @@ func (l *lexer) next() token {
 
 type parser struct {
 	lex *lexer
-	q   plan.Query
+	q   *plan.Query
 }
 
 func (p *parser) expectIdent(word string) error {
@@ -234,18 +256,18 @@ func (p *parser) expectSymbol(sym string) error {
 	return nil
 }
 
-func (p *parser) parse() (*plan.Query, error) {
+func (p *parser) parse() error {
 	if err := p.expectIdent("select"); err != nil {
-		return nil, err
+		return err
 	}
 	if err := p.selectList(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := p.expectIdent("from"); err != nil {
-		return nil, err
+		return err
 	}
 	if err := p.fromClause(); err != nil {
-		return nil, err
+		return err
 	}
 	for {
 		t := p.lex.peek()
@@ -256,24 +278,24 @@ func (p *parser) parse() (*plan.Query, error) {
 		case "where":
 			p.lex.next()
 			if err := p.whereClause(); err != nil {
-				return nil, err
+				return err
 			}
 		case "group":
 			p.lex.next()
 			if err := p.expectIdent("by"); err != nil {
-				return nil, err
+				return err
 			}
 			if err := p.groupByClause(); err != nil {
-				return nil, err
+				return err
 			}
 		default:
-			return nil, fmt.Errorf("unexpected %q", t.text)
+			return fmt.Errorf("unexpected %q", t.text)
 		}
 	}
 	if t := p.lex.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("trailing input at %q", t.text)
+		return fmt.Errorf("trailing input at %q", t.text)
 	}
-	return &p.q, nil
+	return nil
 }
 
 var aggFuncs = map[string]bool{
@@ -329,7 +351,7 @@ func (p *parser) fromClause() error {
 	if t.kind != tokIdent {
 		return fmt.Errorf("expected table name, got %q", t.text)
 	}
-	p.q.Tables = append(p.q.Tables, plan.TableTerm{Name: t.text})
+	p.q.AppendTable(t.text)
 	for {
 		nx := p.lex.peek()
 		if nx.kind != tokIdent || (nx.text != "join" && nx.text != "inner") {
@@ -345,7 +367,7 @@ func (p *parser) fromClause() error {
 		if tt.kind != tokIdent {
 			return fmt.Errorf("expected table after JOIN, got %q", tt.text)
 		}
-		p.q.Tables = append(p.q.Tables, plan.TableTerm{Name: tt.text})
+		p.q.AppendTable(tt.text)
 		if err := p.expectIdent("on"); err != nil {
 			return err
 		}

@@ -1,0 +1,162 @@
+package vtime
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Shards is a deterministic multi-event-loop runtime: K single-goroutine
+// vtime shards, each owning one reusable Scheduler (its own run queue,
+// timer wheel, and task slab), executing provably-independent jobs —
+// jobs that share no mutable simulation state, such as the separate
+// server+client populations of a sweep.
+//
+// Determinism is by construction, not by locking:
+//
+//   - Placement is static: job i always runs on shard i%K, and each
+//     shard executes its jobs in submission order. There is no work
+//     stealing, so which scheduler runs a job is a pure function of
+//     (i, K) — the deliberate tradeoff against dynamic balancing, paid
+//     for the ability to reuse each shard's scheduler and arenas.
+//   - Every job starts on a Reset scheduler, whose observable state is
+//     identical to a fresh one. A job's virtual-time execution therefore
+//     never depends on K or on what ran before it on the same shard:
+//     per-job results (and every golden digest derived from them) are
+//     bit-identical at any K, including K=1.
+//   - The completion ledger is merged in (deadline, shard, seq) order —
+//     final virtual time first, shard index then per-shard submission
+//     sequence breaking ties — so the global completion order is itself
+//     deterministic for a given K, independent of host scheduling.
+type Shards struct {
+	k       int
+	batches []chan shardBatch
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// Completion is one job's entry in the merged ledger of a Shards run.
+type Completion struct {
+	// Deadline is the job's final virtual time — when its simulation
+	// completed on the shard's clock.
+	Deadline time.Duration
+	// Shard is the event loop the job ran on (= Job % K).
+	Shard int
+	// Seq is the job's submission sequence within its shard.
+	Seq int
+	// Job is the submitted job index.
+	Job int
+	// Err is the job's error, if any.
+	Err error
+}
+
+type shardJob struct {
+	idx, seq int
+	out      *Completion
+}
+
+type shardBatch struct {
+	jobs []shardJob
+	fn   func(i int, sched *Scheduler) (time.Duration, error)
+	done *sync.WaitGroup
+}
+
+// NewShards starts K shard event loops; k <= 0 uses GOMAXPROCS. Close
+// must be called to stop the shard goroutines.
+func NewShards(k int) *Shards {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	sh := &Shards{k: k, batches: make([]chan shardBatch, k)}
+	for i := 0; i < k; i++ {
+		ch := make(chan shardBatch)
+		sh.batches[i] = ch
+		sh.wg.Add(1)
+		go sh.shardLoop(i, ch)
+	}
+	return sh
+}
+
+// K returns the shard count.
+func (sh *Shards) K() int { return sh.k }
+
+// shardLoop is one shard: a goroutine owning one scheduler, reused via
+// Reset across every job the shard is assigned. A job that leaves the
+// scheduler non-idle (a failed run abandoning tasks) poisons it; the
+// shard replaces it with a fresh one, which is observably equivalent.
+func (sh *Shards) shardLoop(shard int, ch <-chan shardBatch) {
+	defer sh.wg.Done()
+	sched := NewScheduler()
+	for b := range ch {
+		for _, j := range b.jobs {
+			if !sched.Idle() {
+				sched = NewScheduler()
+			} else {
+				sched.Reset()
+			}
+			deadline, err := b.fn(j.idx, sched)
+			*j.out = Completion{
+				Deadline: deadline,
+				Shard:    shard,
+				Seq:      j.seq,
+				Job:      j.idx,
+				Err:      err,
+			}
+			b.done.Done()
+		}
+	}
+}
+
+// Run executes jobs 0..n-1 across the shards (job i on shard i%K, each
+// shard in ascending submission order) and returns the completion
+// ledger merged by (deadline, shard, seq). fn receives the job index
+// and the shard's scheduler — freshly Reset, so the job must create all
+// simulation state on it and drive it to completion — and returns the
+// job's final virtual time. Job outputs other than the ledger entry are
+// the caller's to collect (typically into a results slice indexed by
+// job, which keeps them in submission order regardless of K).
+func (sh *Shards) Run(n int, fn func(i int, sched *Scheduler) (time.Duration, error)) []Completion {
+	ledger := make([]Completion, n)
+	if n == 0 {
+		return ledger
+	}
+	var done sync.WaitGroup
+	done.Add(n)
+	perShard := make([][]shardJob, sh.k)
+	for i := 0; i < n; i++ {
+		s := i % sh.k
+		perShard[s] = append(perShard[s], shardJob{idx: i, seq: len(perShard[s]), out: &ledger[i]})
+	}
+	for s, jobs := range perShard {
+		if len(jobs) == 0 {
+			continue
+		}
+		sh.batches[s] <- shardBatch{jobs: jobs, fn: fn, done: &done}
+	}
+	done.Wait()
+	sort.SliceStable(ledger, func(a, b int) bool {
+		la, lb := ledger[a], ledger[b]
+		if la.Deadline != lb.Deadline {
+			return la.Deadline < lb.Deadline
+		}
+		if la.Shard != lb.Shard {
+			return la.Shard < lb.Shard
+		}
+		return la.Seq < lb.Seq
+	})
+	return ledger
+}
+
+// Close stops the shard goroutines. Pending Run calls must have
+// returned; Close is idempotent.
+func (sh *Shards) Close() {
+	if sh.closed {
+		return
+	}
+	sh.closed = true
+	for _, ch := range sh.batches {
+		close(ch)
+	}
+	sh.wg.Wait()
+}

@@ -83,7 +83,18 @@ type Scheduler struct {
 	queues []*WaitQueue
 
 	running *Task
+
+	// Task slab: chunked arena the Tasks of a run are carved from.
+	// Starting a task costs one allocation per taskChunkSize tasks
+	// instead of one each, and Reset rewinds the whole slab for the next
+	// run — the per-run arena freed (recycled) wholesale at run end.
+	// Task records embed their timer and wait-queue links, so this one
+	// slab is also the run's timer and wait-queue storage.
+	tchunks [][]Task
+	tcur    int
 }
+
+const taskChunkSize = 64
 
 // NewScheduler returns a scheduler with the virtual clock at zero.
 func NewScheduler() *Scheduler {
@@ -101,6 +112,57 @@ func (s *Scheduler) Live() int { return s.live }
 // Events reports how many events (task dispatches) the scheduler has
 // processed — the numerator of the sim-events/sec benchmark metric.
 func (s *Scheduler) Events() uint64 { return s.events }
+
+// Idle reports whether the scheduler holds no live tasks, no runnable
+// tasks, and no armed timers — the state in which Reset is legal. A
+// scheduler whose Run returned nil is idle; one abandoned after a
+// deadlock is not.
+func (s *Scheduler) Idle() bool {
+	return s.live == 0 && s.rlen == 0 && s.wheel.count == 0
+}
+
+// Reset restores an idle scheduler to the observable state NewScheduler
+// returns — clock at zero, zero task sequence, zero event count, no
+// registered queues — while retaining the run queue ring, timer-wheel
+// geometry, and task-slab chunks. A run on a Reset scheduler is
+// bit-identical to a run on a fresh one (pinned by the scenario
+// arena-reuse test), which is what lets a sweep shard reuse one
+// scheduler across its whole job stream. Reset panics if the scheduler
+// is not Idle: task records of an abandoned (deadlocked) run may still
+// be referenced by parked coroutines and must not be recycled.
+func (s *Scheduler) Reset() {
+	if !s.Idle() {
+		panic("vtime: Reset on a non-idle scheduler")
+	}
+	s.now = 0
+	s.seq = 0
+	s.events = 0
+	s.queues = s.queues[:0]
+	s.running = nil
+	s.wheel.cur = 0
+	for i := range s.tchunks {
+		s.tchunks[i] = s.tchunks[i][:0]
+	}
+	s.tcur = 0
+}
+
+// newTask carves a pointer-stable Task slot out of the slab. Slots are
+// stale when reused after Reset; the caller initializes every field.
+func (s *Scheduler) newTask() *Task {
+	for {
+		if s.tcur == len(s.tchunks) {
+			s.tchunks = append(s.tchunks, make([]Task, 0, taskChunkSize))
+		}
+		c := s.tchunks[s.tcur]
+		if len(c) == cap(c) {
+			s.tcur++
+			continue
+		}
+		c = c[:len(c)+1]
+		s.tchunks[s.tcur] = c
+		return &c[len(c)-1]
+	}
+}
 
 // --- run queue ---
 
@@ -140,7 +202,8 @@ func (s *Scheduler) growRunq() {
 // host goroutine before Run, or from a running task.
 func (s *Scheduler) Go(name string, fn func(*Task)) *Task {
 	s.seq++
-	t := &Task{s: s, name: name, id: s.seq, wlevel: -1, goro: true}
+	t := s.newTask()
+	*t = Task{s: s, name: name, id: s.seq, wlevel: -1, goro: true}
 	next, _ := iter.Pull(func(yield func(struct{}) bool) {
 		t.yieldCo = yield
 		if !yield(struct{}{}) {
@@ -162,7 +225,8 @@ func (s *Scheduler) Go(name string, fn func(*Task)) *Task {
 // have no stack and may not call the blocking API.
 func (s *Scheduler) GoStep(name string, k Step) *Task {
 	s.seq++
-	t := &Task{s: s, name: name, id: s.seq, wlevel: -1}
+	t := s.newTask()
+	*t = Task{s: s, name: name, id: s.seq, wlevel: -1}
 	s.live++
 	t.k = k
 	s.pushRunq(t)
