@@ -131,6 +131,30 @@ type (
 	CalibrationPoint = scenario.CalibrationPoint
 	// FidelityTarget is a paper separation to calibrate toward.
 	FidelityTarget = scenario.FidelityTarget
+	// SearchReport is a finished successive-halving calibration search
+	// (Calibration.Search): the grid's best fidelity at a fraction of
+	// its simulation budget.
+	SearchReport = scenario.SearchReport
+	// SearchRung is one rung of the halving schedule.
+	SearchRung = scenario.SearchRung
+
+	// Replication is a multi-seed run of one scenario; every paper claim
+	// is asserted over a replication, not a single draw.
+	Replication = scenario.Replication
+	// ReplicationReport holds a finished replication in seed order.
+	ReplicationReport = scenario.ReplicationReport
+	// SeedRun is one seed's outcome within a replication.
+	SeedRun = scenario.SeedRun
+	// Metric extracts one number from a seed's outcome.
+	Metric = scenario.Metric
+	// ClaimBand states a paper claim as a band over a replicated metric:
+	// it holds when the bootstrap CI lies inside [Lo, Hi].
+	ClaimBand = scenario.ClaimBand
+	// StatSummary condenses per-seed samples: point statistics plus a
+	// bootstrap percentile confidence interval for the mean.
+	StatSummary = scenario.Summary
+	// StatInterval is a closed confidence interval.
+	StatInterval = scenario.Interval
 )
 
 // Byte-size helpers re-exported for configuration literals.
@@ -235,6 +259,16 @@ func DefaultCalibration() Calibration { return scenario.DefaultCalibration() }
 // PaperTargets returns the Figures 3-5 throughput separations the
 // calibration scores against.
 func PaperTargets() []FidelityTarget { return scenario.PaperTargets() }
+
+// ReplicationSeeds returns the canonical replication seed list {1..n}.
+func ReplicationSeeds(n int) []int64 { return scenario.Seeds(n) }
+
+// Summarize condenses per-seed samples with a bootstrap confidence
+// interval at the given coverage (0 defaults to 0.95). The resampler is
+// deterministic: identical samples always carry identical intervals.
+func Summarize(xs []float64, confidence float64) StatSummary {
+	return scenario.Summarize(xs, confidence)
+}
 
 // NewRegistry creates an empty scenario registry (the paper experiments
 // live in the default registry; see Scenarios).

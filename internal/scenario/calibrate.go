@@ -152,10 +152,11 @@ func CalibratedKnobs() PressureKnobs {
 }
 
 // CalibrationPoint is one grid cell's outcome: a throttled/baseline pair
-// at one client count under one knob set.
+// at one client count and seed under one knob set.
 type CalibrationPoint struct {
 	Knobs     PressureKnobs
 	Clients   int
+	Seed      int64
 	Throttled *harness.Result
 	Baseline  *harness.Result
 	Err       error
@@ -200,6 +201,11 @@ type Calibration struct {
 	// Horizon/Warmup bound each run's measurement window.
 	Horizon, Warmup time.Duration
 	Seed            int64
+	// Seeds replicates every cell over this seed population; nil runs
+	// the single-seed grid at Seed (the historical behavior). A
+	// multi-seed grid scores each knob set over all of its cells, so
+	// the selected calibration holds as a distribution.
+	Seeds []int64
 	// Targets score knob sets; nil uses PaperTargets.
 	Targets []FidelityTarget
 	// Workers bounds concurrent simulations (0 = all cores).
@@ -240,20 +246,45 @@ func DefaultCalibration() Calibration {
 	}
 }
 
+// seedList resolves the grid's seed population: Seeds when set, else
+// the single historical Seed.
+func (c Calibration) seedList() []int64 {
+	if len(c.Seeds) > 0 {
+		return c.Seeds
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return []int64{seed}
+}
+
+// cellScenario builds the throttled arm of one calibration cell; the
+// baseline arm is its Baseline twin. Both the exhaustive grid and the
+// successive-halving search expand cells through here, so a (knobs,
+// clients, seed) cell is the same simulation no matter which strategy
+// asked for it.
+func (c Calibration) cellScenario(k PressureKnobs, clients int, seed int64) Scenario {
+	s := Sales(clients)
+	s.Name = fmt.Sprintf("cal-%s-c%d-s%d", k.Name, clients, seed)
+	s.Description = fmt.Sprintf("calibration cell %s at %d clients, seed %d", k.Name, clients, seed)
+	s.Horizon, s.Warmup = c.Horizon, c.Warmup
+	s.Seed = seed
+	s.Engine = func(cfg *engine.Config) { k.Apply(cfg) }
+	return s
+}
+
 // scenarios expands the grid into throttled/baseline scenario pairs in a
 // fixed order: for cell i, index 2i is throttled and 2i+1 its baseline.
 func (c Calibration) scenarios() []Scenario {
-	out := make([]Scenario, 0, 2*len(c.Knobs)*len(c.Clients))
+	seeds := c.seedList()
+	out := make([]Scenario, 0, 2*len(c.Knobs)*len(c.Clients)*len(seeds))
 	for _, k := range c.Knobs {
 		for _, cl := range c.Clients {
-			k := k
-			s := Sales(cl)
-			s.Name = fmt.Sprintf("cal-%s-c%d", k.Name, cl)
-			s.Description = fmt.Sprintf("calibration cell %s at %d clients", k.Name, cl)
-			s.Horizon, s.Warmup = c.Horizon, c.Warmup
-			s.Seed = c.Seed
-			s.Engine = func(cfg *engine.Config) { k.Apply(cfg) }
-			out = append(out, s, s.Baseline())
+			for _, seed := range seeds {
+				s := c.cellScenario(k, cl, seed)
+				out = append(out, s, s.Baseline())
+			}
 		}
 	}
 	return out
@@ -263,9 +294,6 @@ func (c Calibration) scenarios() []Scenario {
 // independent simulations; all of them run concurrently on real cores)
 // and collects the outcomes into a report.
 func (c Calibration) Run() *CalibrationReport {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Horizon <= 0 {
 		c.Horizon, c.Warmup = 3*time.Hour, 45*time.Minute
 	}
@@ -273,23 +301,26 @@ func (c Calibration) Run() *CalibrationReport {
 	if targets == nil {
 		targets = PaperTargets()
 	}
+	seeds := c.seedList()
 	results := RunSweep(c.scenarios(), c.Workers)
 	rep := &CalibrationReport{Targets: targets}
 	i := 0
 	for _, k := range c.Knobs {
 		for _, cl := range c.Clients {
-			th, ba := results[i], results[i+1]
-			i += 2
-			p := CalibrationPoint{Knobs: k, Clients: cl}
-			switch {
-			case th.Err != nil:
-				p.Err = th.Err
-			case ba.Err != nil:
-				p.Err = ba.Err
-			default:
-				p.Throttled, p.Baseline = th.Result, ba.Result
+			for _, seed := range seeds {
+				th, ba := results[i], results[i+1]
+				i += 2
+				p := CalibrationPoint{Knobs: k, Clients: cl, Seed: seed}
+				switch {
+				case th.Err != nil:
+					p.Err = th.Err
+				case ba.Err != nil:
+					p.Err = ba.Err
+				default:
+					p.Throttled, p.Baseline = th.Result, ba.Result
+				}
+				rep.Points = append(rep.Points, p)
 			}
-			rep.Points = append(rep.Points, p)
 		}
 	}
 	return rep
@@ -357,17 +388,17 @@ func (r *CalibrationReport) Best() (PressureKnobs, float64) {
 // CSV renders every cell as one row — the machine-readable sweep output.
 func (r *CalibrationReport) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("knobs,clients,reserve_frac,slope,wait_ms,grant_frac,stage_costing,stage_codegen," +
+	sb.WriteString("knobs,clients,seed,reserve_frac,slope,wait_ms,grant_frac,stage_costing,stage_codegen," +
 		"memo_scale,vas_mib,exhaust_frac," +
 		"throttled,baseline,ratio,throttled_errors,baseline_errors," +
 		"throttled_compile_p50_s,baseline_overcommit,baseline_steal_mib\n")
 	for _, p := range r.Points {
 		if p.Err != nil {
-			fmt.Fprintf(&sb, "%s,%d,,,,,,,,,,,,,,,,,error: %v\n", p.Knobs.Name, p.Clients, p.Err)
+			fmt.Fprintf(&sb, "%s,%d,%d,,,,,,,,,,,,,,,,,error: %v\n", p.Knobs.Name, p.Clients, p.Seed, p.Err)
 			continue
 		}
-		fmt.Fprintf(&sb, "%s,%d,%.2f,%.1f,%d,%.2f,%.1f,%.1f,%.2f,%d,%.2f,%d,%d,%.3f,%d,%d,%.0f,%.2f,%d\n",
-			p.Knobs.Name, p.Clients,
+		fmt.Fprintf(&sb, "%s,%d,%d,%.2f,%.1f,%d,%.2f,%.1f,%.1f,%.2f,%d,%.2f,%d,%d,%.3f,%d,%d,%.0f,%.2f,%d\n",
+			p.Knobs.Name, p.Clients, p.Seed,
 			p.Knobs.CacheReserveFrac, p.Knobs.SlowdownSlope,
 			p.Knobs.CompileTaskWait.Milliseconds(), p.Knobs.ExecGrantLimitFrac,
 			p.Knobs.StageCostingScale, p.Knobs.StageCodegenScale,
@@ -393,8 +424,8 @@ func (r *CalibrationReport) Markdown() string {
 	var sb strings.Builder
 	for _, name := range names {
 		fmt.Fprintf(&sb, "### %s (score %.3f)\n\n", name, r.Score(name))
-		sb.WriteString("| clients | throttled | baseline | ratio | target | compile p50 (throttled) | baseline overcommit |\n")
-		sb.WriteString("|---|---|---|---|---|---|---|\n")
+		sb.WriteString("| clients | seed | throttled | baseline | ratio | target | compile p50 (throttled) | baseline overcommit |\n")
+		sb.WriteString("|---|---|---|---|---|---|---|---|\n")
 		for _, p := range r.Points {
 			if p.Knobs.Name != name {
 				continue
@@ -407,11 +438,11 @@ func (r *CalibrationReport) Markdown() string {
 				}
 			}
 			if p.Err != nil {
-				fmt.Fprintf(&sb, "| %d | error | error | — | %s | — | — |\n", p.Clients, tgt)
+				fmt.Fprintf(&sb, "| %d | %d | error | error | — | %s | — | — |\n", p.Clients, p.Seed, tgt)
 				continue
 			}
-			fmt.Fprintf(&sb, "| %d | %d | %d | %.2fx | %s | %v | %.2f |\n",
-				p.Clients, p.Throttled.Completed, p.Baseline.Completed,
+			fmt.Fprintf(&sb, "| %d | %d | %d | %d | %.2fx | %s | %v | %.2f |\n",
+				p.Clients, p.Seed, p.Throttled.Completed, p.Baseline.Completed,
 				p.Ratio(), tgt, p.Throttled.CompileP50, p.Baseline.AvgOvercommitRatio)
 		}
 		sb.WriteString("\n")

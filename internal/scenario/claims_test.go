@@ -1,84 +1,105 @@
 package scenario
 
 import (
+	"math"
+	"sync"
 	"testing"
-	"time"
 )
 
+// The paper-claim tests below assert distributions, not draws: every
+// claim replicates its scenario over ClaimSeeds() (5 by default; PR CI
+// narrows to 3 through CLAIMS_SEEDS) at the paper's full 8 h window
+// measured from 3 h, and holds only when the bootstrap confidence
+// interval of the metric sits inside the claimed band. Compressed
+// windows are deliberately not used here: at 3 h/45 min the figure3
+// separation genuinely fails on some seeds (seed 3 gives 0.99x), which
+// is exactly the lucky-draw failure mode replication exists to expose.
+
+// claimReplication runs the named figure's paired replication over the
+// claim seed population, memoized so the figure3 claims share one set
+// of simulations. The CSV artifact is written when REPLICATION_CSV_DIR
+// is set (the nightly workflow collects it).
+var claimReps sync.Map // name -> *ReplicationReport
+
+func claimReplication(t *testing.T, name string) *ReplicationReport {
+	t.Helper()
+	if rep, ok := claimReps.Load(name); ok {
+		return rep.(*ReplicationReport)
+	}
+	rep, err := Replication{Scenario: MustGet(t, name), Seeds: ClaimSeeds(), Paired: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSVEnv(MetricCompleted, MetricErrors, MetricThroughputRatio,
+		MetricOvercommit, MetricOvercommitMargin, MetricCompileP50, MetricCompileP90); err != nil {
+		t.Logf("replication CSV artifact: %v", err)
+	}
+	claimReps.Store(name, rep)
+	return rep
+}
+
+// metricBaselineOvercommit reads the unthrottled twin's overcommit —
+// the thrash-regime precondition behind the throughput claims.
+var metricBaselineOvercommit = Metric{"ba-overcommit", func(r SeedRun) float64 {
+	return r.Baseline.AvgOvercommitRatio
+}}
+
 // TestClaimThroughputSeparation pins the paper's headline claim at the
-// recalibrated figure3 operating point: the throttled server sustains at
-// least 1.2x the unthrottled baseline's throughput (the paper shows
-// ~1.35x at 30 clients). The window is compressed to the calibration
-// window (3 h measured from 45 min) to keep the test fast; the full
-// 8-hour figures show the same separation (EXPERIMENTS.md).
+// figure3 operating point (30 clients): across the seed population the
+// throttled server sustains at least 1.2x the unthrottled baseline
+// (the paper shows ~1.35x), the baseline genuinely thrashes
+// (overcommit > 1), and governance keeps the throttled server cooler.
 func TestClaimThroughputSeparation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation in -short")
 	}
-	s, ok := Get("figure3")
-	if !ok {
-		t.Fatal("figure3 not registered")
+	rep := claimReplication(t, "figure3")
+	ClaimBand{
+		Claim:  "figure3: throttled sustains >= 1.2x baseline throughput at 30 clients",
+		Metric: MetricThroughputRatio, Lo: 1.2, Hi: math.Inf(1),
+	}.Assert(t, rep)
+	ClaimBand{
+		Claim:  "figure3: the unthrottled baseline is overcommitted (thrash regime)",
+		Metric: metricBaselineOvercommit, Lo: 1.0, Hi: math.Inf(1),
+	}.Assert(t, rep)
+	ClaimBand{
+		Claim:  "figure3: governance keeps the throttled server cooler than baseline",
+		Metric: MetricOvercommitMargin, Lo: 0.02, Hi: math.Inf(1),
+	}.Assert(t, rep)
+}
+
+// TestClaimMidloadSeparation pins Figure 4's point (35 clients): the
+// separation grows with load — at least 1.3x across the population.
+func TestClaimMidloadSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
 	}
-	s = s.WithWindow(3*time.Hour, 45*time.Minute)
-	res := RunSweep([]Scenario{s, s.Baseline()}, 2)
-	for _, sr := range res {
-		if sr.Err != nil {
-			t.Fatalf("%s: %v", sr.Scenario.Name, sr.Err)
-		}
-	}
-	th, ba := res[0].Result, res[1].Result
-	if ba.Completed == 0 {
-		t.Fatal("baseline completed nothing")
-	}
-	ratio := float64(th.Completed) / float64(ba.Completed)
-	if ratio < 1.2 {
-		t.Fatalf("throttled/baseline = %d/%d = %.2fx, want >= 1.2x (paper: ~1.35x)",
-			th.Completed, ba.Completed, ratio)
-	}
-	// The separation must come from the thrash regime, not from baseline
-	// failures alone: the baseline should actually be overcommitted.
-	if ba.AvgOvercommitRatio <= 1 {
-		t.Fatalf("baseline overcommit ratio = %.2f, want > 1 (thrashing)", ba.AvgOvercommitRatio)
-	}
-	// And governance must keep the throttled server out of deep thrash.
-	if th.AvgOvercommitRatio >= ba.AvgOvercommitRatio {
-		t.Fatalf("throttled overcommit %.2f not below baseline %.2f",
-			th.AvgOvercommitRatio, ba.AvgOvercommitRatio)
-	}
+	rep := claimReplication(t, "figure4")
+	ClaimBand{
+		Claim:  "figure4: throttled sustains >= 1.3x baseline throughput at 35 clients",
+		Metric: MetricThroughputRatio, Lo: 1.3, Hi: math.Inf(1),
+	}.Assert(t, rep)
 }
 
 // TestClaimCollapseAtForty pins Figure 5's qualitative claim: at 40
 // clients the unthrottled baseline collapses — the throttled server
-// sustains at least twice its throughput while the baseline drowns in
-// failures (out-of-memory under a thrashing, VAS-exhausted machine).
+// sustains at least twice its throughput (baseline starvation reads as
+// RatioCap and counts as collapse) while the baseline drowns in
+// hundreds more failures (out-of-memory under a thrashing,
+// VAS-exhausted machine).
 func TestClaimCollapseAtForty(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation in -short")
 	}
-	s, ok := Get("figure5")
-	if !ok {
-		t.Fatal("figure5 not registered")
-	}
-	s = s.WithWindow(3*time.Hour, 45*time.Minute)
-	res := RunSweep([]Scenario{s, s.Baseline()}, 2)
-	for _, sr := range res {
-		if sr.Err != nil {
-			t.Fatalf("%s: %v", sr.Scenario.Name, sr.Err)
-		}
-	}
-	th, ba := res[0].Result, res[1].Result
-	if ba.Completed == 0 {
-		// Total baseline starvation also counts as collapse.
-		return
-	}
-	ratio := float64(th.Completed) / float64(ba.Completed)
-	if ratio < 2 {
-		t.Fatalf("throttled/baseline = %d/%d = %.2fx at 40 clients, want >= 2x (collapse)",
-			th.Completed, ba.Completed, ratio)
-	}
-	if ba.Errors <= th.Errors {
-		t.Fatalf("collapsing baseline errors (%d) not above throttled (%d)", ba.Errors, th.Errors)
-	}
+	rep := claimReplication(t, "figure5")
+	ClaimBand{
+		Claim:  "figure5: throttled sustains >= 2x baseline throughput at 40 clients",
+		Metric: MetricThroughputRatio, Lo: 2, Hi: math.Inf(1),
+	}.Assert(t, rep)
+	ClaimBand{
+		Claim:  "figure5: the collapsing baseline fails hundreds more queries",
+		Metric: MetricErrorMargin, Lo: 500, Hi: math.Inf(1),
+	}.Assert(t, rep)
 }
 
 // TestClaimCompileDurationBand pins the unification the staged
@@ -86,32 +107,21 @@ func TestClaimCollapseAtForty(t *testing.T) {
 // the Figures 3-5 separation (figure3's operating point), the
 // throttled server's compile-duration distribution still matches
 // §5.2's 10-90 s ad-hoc profile — the median inside the band and the
-// tail bounded. Under the pre-stage calibration this was impossible:
-// the collapse regime needed 180 ms task waits, which pushed the
-// median to ~25 minutes.
+// tail bounded. Histogram.Quantile reports the upper bound of the
+// median's bucket (bounds ... 1s, 10s, 30s ...), so a median anywhere
+// at or below the 10 s bucket reads as exactly 10 s — the band's lower
+// edge sits just above 10 to reject sub-band medians.
 func TestClaimCompileDurationBand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation in -short")
 	}
-	s, ok := Get("figure3")
-	if !ok {
-		t.Fatal("figure3 not registered")
-	}
-	r, err := s.WithWindow(3*time.Hour, 45*time.Minute).Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Histogram.Quantile reports the upper bound of the median's bucket
-	// (bounds ... 1s, 10s, 30s ...), so a median anywhere at or below
-	// the 10 s bucket reads as exactly 10s — the lower bound must
-	// therefore be strict to reject sub-band medians.
-	if r.CompileP50 <= 10*time.Second || r.CompileP50 > 90*time.Second {
-		t.Fatalf("compile p50 = %v at the figure calibration, want within the §5.2 10-90 s band",
-			r.CompileP50)
-	}
-	// The tail may stretch past the band (gate waits are compile time),
-	// but must stay minutes, not the pre-stage tens of minutes.
-	if r.CompileP90 > 5*time.Minute {
-		t.Fatalf("compile p90 = %v at the figure calibration, want <= 5m", r.CompileP90)
-	}
+	rep := claimReplication(t, "figure3")
+	ClaimBand{
+		Claim:  "figure3: compile p50 stays in the §5.2 10-90 s ad-hoc band",
+		Metric: MetricCompileP50, Lo: 10.5, Hi: 90,
+	}.Assert(t, rep)
+	ClaimBand{
+		Claim:  "figure3: compile p90 stays minutes, not the pre-stage tens of minutes",
+		Metric: MetricCompileP90, Lo: 10.5, Hi: 300,
+	}.Assert(t, rep)
 }

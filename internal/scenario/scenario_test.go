@@ -201,6 +201,23 @@ func TestSweepWorkerCountInvariance(t *testing.T) {
 	for i, s := range all {
 		scenarios[i] = goldenWindow(s)
 	}
+	// Replication pass: a multi-seed replication is sweep jobs underneath,
+	// so its per-seed results must also be identical at any worker count.
+	repScenario := goldenWindow(MustGet(t, "figure3"))
+	repOne, err := Replication{Scenario: repScenario, Seeds: Seeds(3), Paired: true, Workers: 1}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repMany, err := Replication{Scenario: repScenario, Seeds: Seeds(3), Paired: true, Workers: 0}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range repOne.Runs {
+		if !reflect.DeepEqual(repOne.Runs[i], repMany.Runs[i]) {
+			t.Errorf("replication seed %d differs between workers=1 and workers=N", repOne.Runs[i].Seed)
+		}
+	}
+
 	one := RunSweep(scenarios, 1)
 	many := RunSweep(scenarios, 0)
 	for i := range scenarios {

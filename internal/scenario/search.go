@@ -1,0 +1,269 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file replaces the exhaustive calibration grid with successive
+// halving: every knob set gets a cheap first look (one client count,
+// one seed), the top third is promoted rung by rung onto a widening
+// budget (more client counts, then more replication seeds), and only
+// the winner is evaluated at the full clients × seeds budget. A (knob,
+// clients, seed) cell is simulated at most once — later rungs reuse
+// earlier cells — so the search reaches the grid's best fidelity score
+// at a quarter or less of the grid's simulation count (pinned by
+// TestSearchBeatsGridDifferential), and the saved budget funds seed
+// replication of the claims.
+
+// searchCell keys the cell cache: one throttled/baseline pair.
+type searchCell struct {
+	name    string
+	clients int
+	seed    int64
+}
+
+// SearchRung summarizes one rung of the halving schedule.
+type SearchRung struct {
+	// Clients/Seeds are the budget this rung scored over.
+	Clients []int
+	Seeds   []int64
+	// Names are the knob sets alive in this rung, best score first.
+	Names []string
+	// Scores are the rung scores, parallel to Names.
+	Scores []float64
+	// NewRuns counts simulations this rung added (cached cells are free).
+	NewRuns int
+}
+
+// SearchReport is a finished successive-halving search.
+type SearchReport struct {
+	// Winner is the surviving knob set; Score is its fidelity score over
+	// the full clients × seeds budget (same scale as the exhaustive
+	// grid's CalibrationReport.Score at the same seed population).
+	Winner PressureKnobs
+	Score  float64
+	// Runs is the total simulations the search executed; GridRuns is
+	// what the exhaustive grid costs at the same seed budget.
+	Runs     int
+	GridRuns int
+	// Rungs is the schedule as executed.
+	Rungs []SearchRung
+	// Points holds every evaluated cell (for CSV/report rendering),
+	// in knob-grid order.
+	Points []CalibrationPoint
+}
+
+// Efficiency returns Runs/GridRuns — the fraction of the exhaustive
+// budget the search spent.
+func (r *SearchReport) Efficiency() float64 {
+	if r.GridRuns == 0 {
+		return 0
+	}
+	return float64(r.Runs) / float64(r.GridRuns)
+}
+
+// String renders the rung schedule and the verdict.
+func (r *SearchReport) String() string {
+	var sb strings.Builder
+	for i, rung := range r.Rungs {
+		fmt.Fprintf(&sb, "rung %d: %d clients x %d seeds, %d new runs:", i, len(rung.Clients), len(rung.Seeds), rung.NewRuns)
+		for j, name := range rung.Names {
+			fmt.Fprintf(&sb, " %s=%.3f", name, rung.Scores[j])
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "winner %s score %.3f in %d runs (grid: %d, %.0f%%)\n",
+		r.Winner.Name, r.Score, r.Runs, r.GridRuns, 100*r.Efficiency())
+	return sb.String()
+}
+
+// searcher carries the cache and run accounting across rungs.
+type searcher struct {
+	cal     Calibration
+	targets []FidelityTarget
+	knobs   map[string]PressureKnobs
+	order   map[string]int // knob-grid position, the deterministic tiebreak
+	cells   map[searchCell]CalibrationPoint
+	runs    int
+}
+
+// evaluate simulates every (name, clients, seed) cell not already
+// cached, sweeping all missing pairs concurrently.
+func (s *searcher) evaluate(names []string, clients []int, seeds []int64) int {
+	var missing []searchCell
+	var jobs []Scenario
+	for _, name := range names {
+		for _, cl := range clients {
+			for _, seed := range seeds {
+				key := searchCell{name, cl, seed}
+				if _, ok := s.cells[key]; ok {
+					continue
+				}
+				missing = append(missing, key)
+				sc := s.cal.cellScenario(s.knobs[name], cl, seed)
+				jobs = append(jobs, sc, sc.Baseline())
+			}
+		}
+	}
+	results := RunSweep(jobs, s.cal.Workers)
+	for i, key := range missing {
+		th, ba := results[2*i], results[2*i+1]
+		p := CalibrationPoint{Knobs: s.knobs[key.name], Clients: key.clients, Seed: key.seed}
+		switch {
+		case th.Err != nil:
+			p.Err = th.Err
+		case ba.Err != nil:
+			p.Err = ba.Err
+		default:
+			p.Throttled, p.Baseline = th.Result, ba.Result
+		}
+		s.cells[key] = p
+	}
+	s.runs += len(jobs)
+	return len(jobs)
+}
+
+// score sums the squared fidelity misses of name's cells over the given
+// budget — the same per-cell scoring as CalibrationReport.Score, so a
+// full-budget search score and a grid score are directly comparable.
+func (s *searcher) score(name string, clients []int, seeds []int64) float64 {
+	var score float64
+	for _, cl := range clients {
+		t, ok := target(s.targets, cl)
+		if !ok {
+			continue
+		}
+		for _, seed := range seeds {
+			p := s.cells[searchCell{name, cl, seed}]
+			if p.Err != nil {
+				score += t.Ratio * t.Ratio
+				continue
+			}
+			ratio := p.Ratio()
+			if t.AtLeast && ratio >= t.Ratio {
+				continue
+			}
+			d := ratio - t.Ratio
+			score += d * d
+		}
+	}
+	return score
+}
+
+func target(targets []FidelityTarget, clients int) (FidelityTarget, bool) {
+	for _, t := range targets {
+		if t.Clients == clients {
+			return t, true
+		}
+	}
+	return FidelityTarget{}, false
+}
+
+// Search runs successive halving over the calibration's knob sets with
+// the given replication seeds (nil falls back to the grid's seed list).
+// The schedule: rung 0 scores every knob set at the first client count
+// under the first seed; each following rung promotes the top third
+// (ceil) and widens the budget by one client count, then by seeds,
+// until a single survivor holds the full clients × seeds budget.
+func (c Calibration) Search(seeds []int64) *SearchReport {
+	if c.Horizon <= 0 {
+		c.Horizon, c.Warmup = 3*time.Hour, 45*time.Minute
+	}
+	if len(seeds) == 0 {
+		seeds = c.seedList()
+	}
+	targets := c.Targets
+	if targets == nil {
+		targets = PaperTargets()
+	}
+	s := &searcher{
+		cal:     c,
+		targets: targets,
+		knobs:   make(map[string]PressureKnobs, len(c.Knobs)),
+		order:   make(map[string]int, len(c.Knobs)),
+		cells:   make(map[searchCell]CalibrationPoint),
+	}
+	survivors := make([]string, len(c.Knobs))
+	for i, k := range c.Knobs {
+		survivors[i] = k.Name
+		s.knobs[k.Name] = k
+		s.order[k.Name] = i
+	}
+
+	rep := &SearchReport{GridRuns: 2 * len(c.Knobs) * len(c.Clients) * len(seeds)}
+	nClients, nSeeds := 1, 1
+	for {
+		clients, runSeeds := c.Clients[:nClients], seeds[:nSeeds]
+		newRuns := s.evaluate(survivors, clients, runSeeds)
+
+		scores := make([]float64, len(survivors))
+		for i, name := range survivors {
+			scores[i] = s.score(name, clients, runSeeds)
+		}
+		// Joint sort by (score, knob-grid order): the index permutation
+		// keeps names and scores aligned; the grid-order tiebreak makes
+		// reruns deterministic.
+		idx := make([]int, len(survivors))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if scores[idx[a]] != scores[idx[b]] {
+				return scores[idx[a]] < scores[idx[b]]
+			}
+			return s.order[survivors[idx[a]]] < s.order[survivors[idx[b]]]
+		})
+		ranked := make([]string, len(idx))
+		rankedScores := make([]float64, len(idx))
+		for i, j := range idx {
+			ranked[i], rankedScores[i] = survivors[j], scores[j]
+		}
+		survivors = ranked
+		rep.Rungs = append(rep.Rungs, SearchRung{
+			Clients: append([]int(nil), clients...),
+			Seeds:   append([]int64(nil), runSeeds...),
+			Names:   append([]string(nil), survivors...),
+			Scores:  rankedScores,
+			NewRuns: newRuns,
+		})
+
+		if nClients == len(c.Clients) && nSeeds == len(seeds) {
+			// Full budget reached: the final pick is by full-budget score.
+			survivors = survivors[:1]
+			break
+		}
+		// Promote the top third, but never fewer than two arms before the
+		// budget is complete: a single-seed score must not be allowed to
+		// commit the search (that would re-create the lucky-draw problem
+		// replication exists to kill).
+		if len(survivors) > 2 {
+			keep := (len(survivors) + 2) / 3
+			if keep < 2 {
+				keep = 2
+			}
+			survivors = survivors[:keep]
+		}
+		if nClients < len(c.Clients) {
+			nClients++
+		} else {
+			nSeeds++
+		}
+	}
+
+	rep.Winner = s.knobs[survivors[0]]
+	rep.Score = s.score(survivors[0], c.Clients, seeds)
+	rep.Runs = s.runs
+	for _, k := range c.Knobs {
+		for _, cl := range c.Clients {
+			for _, seed := range seeds {
+				if p, ok := s.cells[searchCell{k.Name, cl, seed}]; ok {
+					rep.Points = append(rep.Points, p)
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -31,6 +31,23 @@ func TestShardCountInvariance(t *testing.T) {
 			t.Fatalf("%s: workers=1: %v", scenarios[i].Name, ref[i].Err)
 		}
 	}
+	// Replication pass: seeds become sweep jobs, so a replication's
+	// per-seed results must be byte-identical at shard counts 1 and 4.
+	repScenario := goldenWindow(MustGet(t, "figure3"))
+	repRef, err := Replication{Scenario: repScenario, Seeds: Seeds(3), Paired: true, Workers: 1}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSharded, err := Replication{Scenario: repScenario, Seeds: Seeds(3), Paired: true, Workers: 4}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range repRef.Runs {
+		if !reflect.DeepEqual(repRef.Runs[i], repSharded.Runs[i]) {
+			t.Errorf("replication seed %d differs between shards=1 and shards=4", repRef.Runs[i].Seed)
+		}
+	}
+
 	counts := []int{2, 4, runtime.NumCPU()}
 	for _, k := range counts {
 		got := RunSweep(scenarios, k)

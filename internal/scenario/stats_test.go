@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanMedianQuantile(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("Median odd = %v, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %v, want 2.5", got)
+	}
+	// Type-7 interpolation: q=0.25 over {1,2,3,4} sits at position 0.75.
+	if got := Quantile([]float64{1, 2, 3, 4}, 0.25); got != 1.75 {
+		t.Fatalf("Quantile(0.25) = %v, want 1.75", got)
+	}
+	if got := Quantile([]float64{9, 7, 8}, 0); got != 7 {
+		t.Fatalf("Quantile(0) = %v, want min", got)
+	}
+	if got := Quantile([]float64{9, 7, 8}, 1); got != 9 {
+		t.Fatalf("Quantile(1) = %v, want max", got)
+	}
+	// Quantile must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1.2, 1.4, 1.1, 1.6, 1.3}
+	a := BootstrapCI(xs, 0.95, 42)
+	b := BootstrapCI(xs, 0.95, 42)
+	if a != b {
+		t.Fatalf("same seed, different intervals: %v vs %v", a, b)
+	}
+	// The interval must bracket the sample mean and stay inside the range.
+	m := Mean(xs)
+	if !a.Contains(m) {
+		t.Fatalf("CI %v does not contain the mean %v", a, m)
+	}
+	if a.Lo < 1.1 || a.Hi > 1.6 {
+		t.Fatalf("bootstrap CI %v escaped the sample range [1.1, 1.6]", a)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	if got := BootstrapCI(nil, 0.95, 1); got != (Interval{}) {
+		t.Fatalf("empty sample CI = %v, want zero interval", got)
+	}
+	if got := BootstrapCI([]float64{7}, 0.95, 1); got != (Interval{Lo: 7, Hi: 7}) {
+		t.Fatalf("singleton CI = %v, want [7, 7]", got)
+	}
+	// All-equal samples must give a point interval.
+	if got := BootstrapCI([]float64{0, 0, 0, 0, 0}, 0.95, 1); got != (Interval{}) {
+		t.Fatalf("all-zero CI = %v, want [0, 0]", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	s := Summarize(xs, 0)
+	if s.N != 3 || s.Mean != 4 || s.Median != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("bad point stats: %+v", s)
+	}
+	if s.Confidence != 0.95 {
+		t.Fatalf("confidence default = %v, want 0.95", s.Confidence)
+	}
+	// Identical samples carry identical intervals regardless of caller.
+	if s2 := Summarize([]float64{2, 4, 6}, 0); s2.CI != s.CI {
+		t.Fatalf("same sample, different CI: %v vs %v", s.CI, s2.CI)
+	}
+	// A narrower confidence must not widen the interval.
+	if s80 := Summarize(xs, 0.80); s80.CI.Hi-s80.CI.Lo > s.CI.Hi-s.CI.Lo+1e-12 {
+		t.Fatalf("80%% CI %v wider than 95%% CI %v", s80.CI, s.CI)
+	}
+	if got := Summarize(nil, 0.95); got.N != 0 || got.CI != (Interval{}) {
+		t.Fatalf("empty summary = %+v", got)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 2}
+	for _, tc := range []struct {
+		x    float64
+		want bool
+	}{{1, true}, {2, true}, {1.5, true}, {0.999, false}, {2.001, false}} {
+		if got := iv.Contains(tc.x); got != tc.want {
+			t.Fatalf("Contains(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if !(Interval{Lo: 3, Hi: math.Inf(1)}).Contains(1e12) {
+		t.Fatal("unbounded interval rejected a large value")
+	}
+}

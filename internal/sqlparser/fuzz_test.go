@@ -3,6 +3,8 @@ package sqlparser
 import (
 	"reflect"
 	"testing"
+
+	"compilegate/internal/plan"
 )
 
 // fuzzSeeds is the seed corpus: every statement shape the simulated
@@ -23,6 +25,15 @@ var fuzzSeeds = []string{
 	"SELECT * FROM t WHERE t.a = ",
 	"",
 	"SELECT \u2603 FROM t WHERE t.a = -42",
+	// Shapes the replication-run workloads emit: OLTP point lookups,
+	// the mix workload's store/city join probe, the TPC-H-like rollup,
+	// and a SALES filter head with BETWEEN range literals.
+	"SELECT * FROM dim_customer WHERE dim_customer.customer_id = 4141",
+	"SELECT COUNT(*) FROM dim_store JOIN dim_city ON dim_store.city_id = dim_city.city_id WHERE dim_store.store_id = 91",
+	"SELECT COUNT(*), SUM(lineitem.l_partkey) FROM lineitem JOIN orders ON lineitem.l_orderkey = orders.o_orderkey",
+	"/* u9 */ SELECT SUM(sales_fact.amount) FROM sales_fact JOIN dim_date ON sales_fact.date_id = dim_date.date_id WHERE dim_date.date_id BETWEEN 7300 AND 7665 AND sales_fact.store_id >= 12 GROUP BY dim_date.month",
+	"SELECT FROM WHERE BETWEEN AND GROUP BY",
+	"SELECT * FROM t WHERE t.a = 1 AND",
 }
 
 // lexTokens lexes sql on l and copies out the token stream (the pooled
@@ -75,4 +86,68 @@ func FuzzLexerPooling(f *testing.F) {
 			t.Fatalf("Fingerprint unstable across pooling on %q: %s vs %s", sql, fpBefore, fp)
 		}
 	})
+}
+
+// FuzzParseInto proves the zero-alloc pooled parse path is
+// observationally identical to a fresh Parse: a query recycled through
+// unrelated statements — including a failed parse, which leaves
+// partial state ParseInto must Reset away — yields the same parsed
+// query (or the same error outcome) as a brand-new one, for any input.
+// Run with `go test -fuzz=FuzzParseInto ./internal/sqlparser`.
+func FuzzParseInto(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		fresh, freshErr := Parse(sql)
+
+		// Dirty the reused query: a successful parse fills every slice,
+		// a failed one leaves partial state behind.
+		reused := new(plan.Query)
+		_ = ParseInto(reused, "SELECT SUM(sales_fact.amount), AVG(sales_fact.qty) FROM sales_fact INNER JOIN dim_store ON sales_fact.store_id = dim_store.store_id WHERE sales_fact.store_id BETWEEN 3 AND 17 GROUP BY dim_store.region")
+		_ = ParseInto(reused, "SELECT 'unterminated FROM t")
+
+		reusedErr := ParseInto(reused, sql)
+		if (freshErr == nil) != (reusedErr == nil) {
+			t.Fatalf("ParseInto outcome diverges on %q: fresh err %v, reused err %v", sql, freshErr, reusedErr)
+		}
+		if freshErr != nil {
+			return
+		}
+		if !queriesEqual(fresh, reused) {
+			t.Fatalf("reused ParseInto diverges from fresh Parse on %q:\nfresh:  %#v\nreused: %#v",
+				sql, fresh, reused)
+		}
+	})
+}
+
+// queriesEqual compares parse results by value, normalizing the
+// capacity-retaining empty slices a recycled query carries (a fresh
+// parse has nil slices where a reused one has empty ones).
+func queriesEqual(a, b *plan.Query) bool {
+	norm := func(q *plan.Query) plan.Query {
+		n := *q
+		// Copy Tables before normalizing nested slices: the shallow copy
+		// shares the backing array, and norm must not mutate its input.
+		n.Tables = append([]plan.TableTerm(nil), n.Tables...)
+		if len(n.Tables) == 0 {
+			n.Tables = nil
+		}
+		if len(n.Joins) == 0 {
+			n.Joins = nil
+		}
+		if len(n.GroupBy) == 0 {
+			n.GroupBy = nil
+		}
+		for i := range n.Tables {
+			if len(n.Tables[i].Preds) == 0 {
+				n.Tables[i].Preds = nil
+			}
+		}
+		return n
+	}
+	an, bn := norm(a), norm(b)
+	// The nested predicate slices still differ in capacity; DeepEqual
+	// ignores capacity, so a value comparison is exact.
+	return reflect.DeepEqual(an, bn)
 }

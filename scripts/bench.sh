@@ -15,6 +15,9 @@
 #   COUNT=3 scripts/bench.sh         # average over 3 runs
 #   OUT=/tmp/bench.json scripts/bench.sh
 #   BASELINE=BENCH_PR3.json scripts/bench.sh -check
+#   GATE_ONLY=1 scripts/bench.sh -check  # skip the benchmark run and
+#                                    #   gate an existing $OUT against
+#                                    #   $BASELINE (smoke tests use this)
 #
 # The seed baselines below were measured at commit 37c27ab (PR 2, the
 # goroutine-per-task scheduler) on the same host and load as the PR 3
@@ -50,6 +53,13 @@ OUT="${OUT:-BENCH_PR6.json}"
 if [ -z "${BASELINE:-}" ]; then
     BASELINE=$(ls BENCH_*.json 2>/dev/null | grep -Fxv "$(basename "$OUT")" | sort -V | tail -n 1 || true)
 fi
+
+if [ "${GATE_ONLY:-0}" = 1 ]; then
+    if [ "$CHECK" != 1 ] || [ ! -f "$OUT" ]; then
+        echo "bench.sh: GATE_ONLY=1 needs -check and an existing OUT ('$OUT')" >&2
+        exit 1
+    fi
+else
 
 raw=$(go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee /dev/stderr)
 if [ -n "$MICRO" ]; then
@@ -101,6 +111,8 @@ END {
 
 echo "wrote $OUT" >&2
 
+fi # GATE_ONLY
+
 if [ "$CHECK" = 1 ]; then
     if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
         echo "bench.sh -check: no baseline BENCH_*.json found (BASELINE='$BASELINE')" >&2
@@ -113,10 +125,20 @@ if [ "$CHECK" = 1 ]; then
     }
     extract "$BASELINE" | sort >/tmp/bench_base.$$
     extract "$OUT" | sort >/tmp/bench_new.$$
+    # A baseline that parses to zero records (corrupt, renamed fields,
+    # wrong file) must fail the gate, not silently skip every
+    # comparison and report success.
+    if [ ! -s /tmp/bench_base.$$ ]; then
+        rm -f /tmp/bench_base.$$ /tmp/bench_new.$$
+        echo "bench.sh -check: baseline $BASELINE parsed to zero benchmark records" >&2
+        exit 1
+    fi
     fail=0
+    compared=0
     while read -r name ballocs bevents; do
         line=$(grep "^$name " /tmp/bench_new.$$ || true)
         [ -z "$line" ] && continue
+        compared=$((compared + 1))
         read -r _ nallocs nevents <<<"$line"
         # allocs/op must not rise more than 15% over the baseline.
         if [ "$ballocs" -gt 0 ] && [ $((nallocs * 100)) -gt $((ballocs * 115)) ]; then
@@ -131,9 +153,15 @@ if [ "$CHECK" = 1 ]; then
         echo "perf-gate: $name allocs/op $nallocs (base $ballocs), sim-events/sec $nevents (base $bevents)" >&2
     done </tmp/bench_base.$$
     rm -f /tmp/bench_base.$$ /tmp/bench_new.$$
+    # Likewise, a baseline/new pair with no benchmarks in common means
+    # nothing was gated — that is a configuration error, not a pass.
+    if [ "$compared" = 0 ]; then
+        echo "bench.sh -check: no benchmarks in common between $BASELINE and $OUT" >&2
+        exit 1
+    fi
     if [ "$fail" = 1 ]; then
         echo "bench.sh -check: performance regression against $BASELINE" >&2
         exit 1
     fi
-    echo "bench.sh -check: no regression against $BASELINE" >&2
+    echo "bench.sh -check: no regression against $BASELINE ($compared benchmarks compared)" >&2
 fi

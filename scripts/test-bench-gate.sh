@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# test-bench-gate.sh — unit-style smoke checks for bench.sh's ratchet
+# gate, run in GATE_ONLY mode so no benchmark executes. Exercises the
+# failure modes the gate must catch loudly instead of skipping:
+#   1. a clean comparison passes,
+#   2. a genuine regression fails,
+#   3. a corrupt/zero-record baseline fails (the silent-skip bug),
+#   4. a baseline with no benchmarks in common fails,
+#   5. a missing baseline fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+record() {
+    # record <file> <name> <allocs> <events>
+    cat >"$1" <<EOF
+{
+  "benchmarks": [
+    {"name": "$2", "ns_per_op": 1000, "allocs_per_op": $3, "sim_events_per_sec": $4}
+  ]
+}
+EOF
+}
+
+run_gate() {
+    GATE_ONLY=1 OUT="$1" BASELINE="$2" scripts/bench.sh -check
+}
+
+fails=0
+expect() {
+    # expect <pass|fail> <label> <out> <baseline>
+    local want=$1 label=$2 out=$3 base=$4 got
+    if run_gate "$out" "$base" >"$tmp/log" 2>&1; then got=pass; else got=fail; fi
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $label: gate ${got}ed, expected $want" >&2
+        sed 's/^/    /' "$tmp/log" >&2
+        fails=1
+    else
+        echo "ok: $label ($want)" >&2
+    fi
+}
+
+record "$tmp/base.json" BenchmarkX 100 50000
+record "$tmp/clean.json" BenchmarkX 105 49000
+record "$tmp/regressed.json" BenchmarkX 200 50000
+record "$tmp/slow.json" BenchmarkX 100 10000
+record "$tmp/other.json" BenchmarkY 100 50000
+echo '{"benchmarks": []}' >"$tmp/empty.json"
+echo 'not json at all' >"$tmp/corrupt.json"
+
+expect pass "clean comparison" "$tmp/clean.json" "$tmp/base.json"
+expect fail "allocs regression" "$tmp/regressed.json" "$tmp/base.json"
+expect fail "throughput regression" "$tmp/slow.json" "$tmp/base.json"
+expect fail "zero-record baseline" "$tmp/clean.json" "$tmp/empty.json"
+expect fail "corrupt baseline" "$tmp/clean.json" "$tmp/corrupt.json"
+expect fail "disjoint benchmark sets" "$tmp/other.json" "$tmp/base.json"
+expect fail "missing baseline" "$tmp/clean.json" "$tmp/nonexistent.json"
+
+if [ "$fails" = 1 ]; then
+    echo "test-bench-gate.sh: FAILURES" >&2
+    exit 1
+fi
+echo "test-bench-gate.sh: all gate checks passed" >&2
