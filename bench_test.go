@@ -21,6 +21,7 @@ import (
 	"compilegate/internal/catalog"
 	"compilegate/internal/core"
 	"compilegate/internal/engine"
+	"compilegate/internal/errclass"
 	"compilegate/internal/gateway"
 	"compilegate/internal/harness"
 	"compilegate/internal/mem"
@@ -315,6 +316,38 @@ func BenchmarkQueryProfile(b *testing.B) {
 		if r.ExecP50 < 10*time.Second || r.ExecP50 > 30*time.Minute {
 			b.Fatalf("exec p50 %v outside the paper's profile", r.ExecP50)
 		}
+	}
+	meter.report(b)
+}
+
+// BenchmarkRetryStorm runs the fault-plane headline pair: a compile-storm
+// burst under aggressive client retries at 40 clients, throttled (with
+// brown-out and a cooperating driver) against the collapsing baseline.
+// It first asserts that the retry path's error handling is allocation-free:
+// the gateway rewrites one recycled ErrTimeout in place and the taxonomy
+// classifies it without formatting, so a retry storm costs no garbage.
+func BenchmarkRetryStorm(b *testing.B) {
+	var te gateway.ErrTimeout
+	if a := testing.AllocsPerRun(100, func() {
+		te = gateway.ErrTimeout{Gate: "small", Wait: 42 * time.Second}
+		if !errclass.IsShed(&te) || !errclass.IsCrashed(engine.ErrCrashed) {
+			b.Fatal("error taxonomy misclassified recycled errors")
+		}
+	}); a != 0 {
+		b.Fatalf("recycled-error retry path allocates %.1f allocs/op, want 0", a)
+	}
+	meter := startSimMeter(b)
+	for i := 0; i < b.N; i++ {
+		s := registered(b, "retry-storm")
+		res := mustSweep(b, s, s.Baseline())
+		th, ba := res[0], res[1]
+		meter.add(res...)
+		ratio, _ := harness.Compare(th, ba)
+		b.ReportMetric(ratio, "throughput-ratio")
+		b.ReportMetric(float64(th.Load.Retries), "throttled-retries")
+		b.ReportMetric(float64(ba.Load.Retries), "baseline-retries")
+		b.ReportMetric(float64(th.Load.GiveUps), "giveups")
+		b.ReportMetric(th.RecoveryTime.Seconds(), "recovery-s")
 	}
 	meter.report(b)
 }

@@ -13,6 +13,7 @@
 //	figures [-quick] [-figure all|1|2|3|4|5] [-workers N]
 //	figures -list
 //	figures -scenario oltp-mix
+//	figures -faultplan [-scenario fault-leak]
 //
 // -quick shrinks the simulation window so a full regeneration finishes in
 // well under a minute of wall-clock time.
@@ -33,6 +34,7 @@ func main() {
 	fig := flag.String("figure", "all", "which figure to regenerate")
 	scen := flag.String("scenario", "", "run one registered scenario (with its baseline) instead of a figure")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
+	faultplan := flag.Bool("faultplan", false, "print the injected fault schedule of -scenario (or of every fault scenario) and exit")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path on exit")
@@ -47,6 +49,27 @@ func main() {
 
 	if *list {
 		fmt.Print(compilegate.ListScenarios())
+		return
+	}
+	if *faultplan {
+		if *scen != "" {
+			s, ok := compilegate.ScenarioByName(*scen)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "figures: unknown scenario %q; -list shows the registry\n", *scen)
+				os.Exit(2)
+			}
+			if s.Fault.Empty() {
+				fmt.Fprintf(os.Stderr, "figures: scenario %q injects no faults\n", *scen)
+				os.Exit(2)
+			}
+			fmt.Printf("== %s ==\n%s", s.Name, s.Fault.String())
+			return
+		}
+		for _, s := range compilegate.Scenarios() {
+			if !s.Fault.Empty() {
+				fmt.Printf("== %s ==\n%s", s.Name, s.Fault.String())
+			}
+		}
 		return
 	}
 	if *scen != "" {

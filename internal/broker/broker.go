@@ -169,6 +169,19 @@ func (b *Broker) Register(name string, weight float64, min int64, usage func() i
 	return c
 }
 
+// ResetHistory discards every component's usage-sample ring and last
+// notification — the broker's view of the world after a crash/restart:
+// trend prediction starts over from an empty window, so the first
+// post-restart ticks take no action until enough samples accumulate.
+// Tick and pressure counters survive (they are run measurements, not
+// broker state).
+func (b *Broker) ResetHistory() {
+	for _, c := range b.components {
+		c.shead, c.sn = 0, 0
+		c.last = Notification{}
+	}
+}
+
 // Last returns the most recent notification delivered to the component.
 func (c *Component) Last() Notification { return c.last }
 

@@ -34,6 +34,28 @@ type Options struct {
 	DynamicThresholds bool
 	// BestEffort enables §4.1's best-plan-so-far on predicted exhaustion.
 	BestEffort bool
+	// Brownout configures sustained-pressure degradation (requires
+	// BestEffort; the zero value leaves the mode off).
+	Brownout BrownoutConfig
+}
+
+// BrownoutConfig is the governor's sustained-pressure brown-out mode:
+// after EnterTicks consecutive broker ticks under pressure the governor
+// escalates to best-effort-only admission — every compilation yields the
+// best complete plan it holds at its next opportunity, so compile
+// footprints stop growing while the broker drains the backlog — and it
+// disarms only after ExitTicks consecutive clean ticks. The asymmetric
+// streak requirement is the hysteresis: a single quiet tick inside a
+// fault does not flap the server back into full compilation.
+type BrownoutConfig struct {
+	// Enabled turns the mode on.
+	Enabled bool
+	// EnterTicks arms brown-out after this many consecutive pressure
+	// ticks (0 defaults to 3).
+	EnterTicks int
+	// ExitTicks disarms it after this many consecutive clean ticks
+	// (0 defaults to 6).
+	ExitTicks int
 }
 
 // DefaultOptions returns the full production feature set for a machine
@@ -60,6 +82,13 @@ type Governor struct {
 	aborted    uint64
 	bestEffort uint64 // compilations cut short by the exhaustion signal
 	peakActive int
+
+	// Brown-out state machine (see BrownoutConfig).
+	brownout        bool
+	pressureStreak  int
+	cleanStreak     int
+	brownoutEntries uint64
+	brownoutTicks   uint64
 }
 
 // NewGovernor creates a governor charging compile memory to tracker.
@@ -95,7 +124,47 @@ func (g *Governor) OnBrokerNotice(n broker.Notification) {
 		}
 	}
 	g.exhaustion = n.Exhaustion
+	if bo := g.opts.Brownout; bo.Enabled {
+		g.brownoutTick(n.Pressure || n.Exhaustion)
+	}
 }
+
+// brownoutTick advances the brown-out state machine by one broker tick.
+func (g *Governor) brownoutTick(pressured bool) {
+	if pressured {
+		g.pressureStreak++
+		g.cleanStreak = 0
+	} else {
+		g.cleanStreak++
+		g.pressureStreak = 0
+	}
+	enter, exit := g.opts.Brownout.EnterTicks, g.opts.Brownout.ExitTicks
+	if enter <= 0 {
+		enter = 3
+	}
+	if exit <= 0 {
+		exit = 6
+	}
+	if g.brownout && g.cleanStreak >= exit {
+		g.brownout = false
+	}
+	if !g.brownout && g.pressureStreak >= enter {
+		g.brownout = true
+		g.brownoutEntries++
+	}
+	if g.brownout {
+		g.brownoutTicks++
+	}
+}
+
+// BrownoutActive reports whether the governor is in brown-out.
+func (g *Governor) BrownoutActive() bool { return g.brownout }
+
+// BrownoutEntries returns how many times brown-out was entered.
+func (g *Governor) BrownoutEntries() uint64 { return g.brownoutEntries }
+
+// BrownoutTicks returns how many broker ticks were spent in brown-out.
+func (g *Governor) BrownoutTicks() uint64 { return g.brownoutTicks }
 
 // Enabled reports whether throttling is active.
 func (g *Governor) Enabled() bool { return g.opts.Enabled }
@@ -214,7 +283,7 @@ func (c *Compilation) ShouldYieldBestEffort() bool {
 	if !c.g.opts.BestEffort || c.cut || c.closed {
 		return false
 	}
-	if c.g.exhaustion {
+	if c.g.exhaustion || c.g.brownout {
 		c.cut = true
 		c.g.bestEffort++
 		return true
@@ -268,6 +337,10 @@ func (g *Governor) Report() string {
 	s := fmt.Sprintf("governor: enabled=%v started=%d finished=%d aborted=%d best-effort=%d peak-active=%d compile-mem=%s (peak %s)\n",
 		g.opts.Enabled, g.started, g.finished, g.aborted, g.bestEffort, g.peakActive,
 		mem.FormatBytes(g.tracker.Used()), mem.FormatBytes(g.tracker.Peak()))
+	if g.opts.Brownout.Enabled {
+		s += fmt.Sprintf("brownout: active=%v entries=%d ticks=%d\n",
+			g.brownout, g.brownoutEntries, g.brownoutTicks)
+	}
 	if g.chain != nil {
 		s += g.chain.String()
 	}

@@ -14,7 +14,6 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -23,6 +22,7 @@ import (
 	"compilegate/internal/bufferpool"
 	"compilegate/internal/catalog"
 	"compilegate/internal/core"
+	"compilegate/internal/errclass"
 	"compilegate/internal/executor"
 	"compilegate/internal/freelist"
 	"compilegate/internal/gateway"
@@ -52,6 +52,10 @@ type Config struct {
 	// DynamicThresholds / BestEffort toggle the §4.1 extensions.
 	DynamicThresholds bool
 	BestEffort        bool
+	// Brownout enables the governor's sustained-pressure degradation
+	// mode (best-effort-only admission with hysteresis); it requires
+	// BestEffort and is off by default.
+	Brownout core.BrownoutConfig
 	// GatewayOverride, when non-nil, replaces the default monitor ladder
 	// (used by the monitor-count ablation).
 	GatewayOverride *gateway.Config
@@ -285,6 +289,18 @@ type Server struct {
 	queries   freelist.List[plan.Query]
 	compCtxs  freelist.List[compileCtx]
 
+	// Fault-plane state (see internal/fault): ballast is the wired
+	// "leak" tracker injections ratchet; faultDiskMul dilates every disk
+	// transfer while a disk-stall fault is active (1 = healthy); down
+	// marks the engine crashed (submits fail fast until Restart);
+	// crashEpoch increments per crash so work in flight across a crash
+	// errors out at its next engine interaction.
+	ballast      *mem.Tracker
+	faultDiskMul float64
+	down         bool
+	crashEpoch   uint64
+	crashes      uint64
+
 	closed bool
 }
 
@@ -416,6 +432,7 @@ func NewShared(cfg Config, cat *catalog.Catalog, pre Prebuilt, sched *vtime.Sche
 		Enabled:           cfg.Throttle,
 		DynamicThresholds: cfg.DynamicThresholds,
 		BestEffort:        cfg.BestEffort,
+		Brownout:          cfg.Brownout,
 	}
 	// Gate thresholds are expressed against the contested region: the VAS
 	// when bounded, the whole machine otherwise.
@@ -447,9 +464,18 @@ func NewShared(cfg Config, cat *catalog.Catalog, pre Prebuilt, sched *vtime.Sche
 		// workspace. The hooks read budget state at call time, so the
 		// penalty tracks pressure as it develops — deterministically.
 		s.cpu.SetDilation(s.budget.Slowdown)
-		s.pool.SetDilation(s.budget.Slowdown)
 		s.exec.SetPressure(s.budget.Slowdown)
 	}
+	// Disk dilation composes the paging slowdown (when modeled) with the
+	// fault plane's disk-stall factor; with neither active the hook
+	// returns exactly 1 and the pool skips dilation entirely.
+	s.faultDiskMul = 1
+	s.pool.SetDilation(s.diskDilation)
+	// The leak-ballast tracker: wired (non-reclaimable) and allowed to
+	// overcommit into swap, so a ratcheting leak drives the machine into
+	// the pressure model's thrash regime instead of failing outright.
+	s.ballast = s.budget.NewTracker("ballast")
+	s.ballast.AllowOvercommit()
 
 	est := pre.Estimator
 	if est == nil {
@@ -556,25 +582,127 @@ func (s *Server) housekeepingTick(t *vtime.Task) {
 // load generator's onAllDone callback is the intended caller.
 func (s *Server) Close() { s.closed = true }
 
+// diskDilation is the buffer pool's disk time-dilation hook: the paging
+// slowdown (when the pressure model runs) composed with the fault
+// plane's disk-stall factor.
+func (s *Server) diskDilation() float64 {
+	f := s.faultDiskMul
+	if s.cfg.Pressure.Enabled {
+		if f == 1 {
+			return s.budget.Slowdown()
+		}
+		return f * s.budget.Slowdown()
+	}
+	return f
+}
+
+// crashError is the recycled connection-lost error: one static value
+// serves every disconnect, so a crash that errors hundreds of in-flight
+// queries allocates nothing.
+type crashError struct{}
+
+func (*crashError) Error() string        { return "engine: server crashed; connection lost" }
+func (*crashError) Is(target error) bool { return target == errclass.Crashed }
+
+// ErrCrashed is returned for queries in flight when the engine crashes
+// and for submits while it is down.
+var ErrCrashed error = &crashError{}
+
+// Crash models an engine process failure: every query in flight errors
+// with ErrCrashed at its next engine interaction, the plan cache and the
+// brokers' sample history are lost (in-memory state does not survive the
+// process), and submits fail fast until Restart — clients observe a dead
+// connection and reconnect by retrying.
+func (s *Server) Crash() {
+	s.down = true
+	s.crashEpoch++
+	s.crashes++
+	s.cache.Clear()
+	clear(s.queryMemo)
+	if s.brk != nil {
+		s.brk.ResetHistory()
+	}
+	if s.vasBrk != nil && s.vasBrk != s.brk {
+		s.vasBrk.ResetHistory()
+	}
+}
+
+// Restart brings a crashed engine back up: submits are accepted again,
+// against a cold plan cache and an empty broker history.
+func (s *Server) Restart() { s.down = false }
+
+// Down reports whether the engine is crashed.
+func (s *Server) Down() bool { return s.down }
+
+// Crashes returns how many times the engine has crashed.
+func (s *Server) Crashes() uint64 { return s.crashes }
+
+// SetDiskFault installs the fault plane's disk-stall factor: every disk
+// transfer takes mul times as long while it is above 1. 1 clears the
+// stall.
+func (s *Server) SetDiskFault(mul float64) {
+	if mul < 1 {
+		mul = 1
+	}
+	s.faultDiskMul = mul
+}
+
+// LeakBallast wires n more bytes of leak ballast — memory some faulty
+// component holds and never uses, crowding real consumers into the
+// pressure model's thrash regime. Fails with an OOM once even the commit
+// limit (physical + swap) is exhausted.
+func (s *Server) LeakBallast(n int64) error { return s.ballast.Reserve(n) }
+
+// BallastBytes returns the ballast currently held.
+func (s *Server) BallastBytes() int64 { return s.ballast.Used() }
+
+// DropBallast releases all leak ballast (the faulty component was
+// restarted or the leak cleared).
+func (s *Server) DropBallast() { s.ballast.ReleaseAll() }
+
+// CheckInvariants audits end-of-run memory conservation: with no work in
+// flight, compilation and execution-grant memory must be fully released
+// and the budget's double-entry bookkeeping must balance. The harness
+// runs this after every simulation; the fault fuzzer relies on it to
+// prove arbitrary injection schedules never leak or double-free.
+func (s *Server) CheckInvariants() error {
+	if err := s.budget.CheckConservation(); err != nil {
+		return err
+	}
+	if n := s.gov.Tracker().Used(); n != 0 {
+		return fmt.Errorf("engine: %d compile bytes still reserved after drain", n)
+	}
+	if n := s.exec.Grants().Tracker().Used(); n != 0 {
+		return fmt.Errorf("engine: %d grant bytes still reserved after drain", n)
+	}
+	if a := s.gov.Active(); a != 0 {
+		return fmt.Errorf("engine: %d compilations still open after drain", a)
+	}
+	return nil
+}
+
 // Error kinds recorded per failed query.
 const (
 	ErrKindOOM            = "oom"
 	ErrKindGatewayTimeout = "gateway-timeout"
 	ErrKindGrantTimeout   = "grant-timeout"
+	ErrKindCrashed        = "crashed"
 	ErrKindOther          = "other"
 )
 
-// classify maps an error to its metric kind.
+// classify maps an error to its metric kind through the errclass
+// taxonomy (every engine error type advertises its class via errors.Is);
+// the legacy kind strings are kept so recorded metrics stay comparable.
 func classify(err error) string {
-	var gt *gateway.ErrTimeout
-	var et *executor.ErrGrantTimeout
-	switch {
-	case errors.Is(err, mem.ErrOutOfMemory):
-		return ErrKindOOM
-	case errors.As(err, &gt):
+	switch errclass.Of(err) {
+	case errclass.Crashed:
+		return ErrKindCrashed
+	case errclass.Shed:
 		return ErrKindGatewayTimeout
-	case errors.As(err, &et):
+	case errclass.Timeout:
 		return ErrKindGrantTimeout
+	case errclass.OOM:
+		return ErrKindOOM
 	default:
 		return ErrKindOther
 	}
@@ -626,6 +754,13 @@ func (s *Server) putQuery(q *plan.Query) {
 // Submit runs one query end to end on behalf of the calling task. The
 // returned error (if any) has already been recorded in the metrics.
 func (s *Server) Submit(t *vtime.Task, sql string) error {
+	if s.down {
+		// Crashed: the connection is refused outright. Recorded like any
+		// other failure so the error series shows the outage.
+		s.rec.RecordError(t.Now(), ErrKindCrashed)
+		return ErrCrashed
+	}
+	epoch := s.crashEpoch
 	var info queryInfo
 	var seen bool
 	if id, ok := s.static[sql]; ok {
@@ -670,6 +805,12 @@ func (s *Server) Submit(t *vtime.Task, sql string) error {
 		p, err = s.compile(t, q)
 		s.putQuery(q)
 		q = nil
+		if err == nil && s.crashEpoch != epoch {
+			// The engine crashed while this compilation ran; the process
+			// that produced the plan is gone and so is the client's
+			// connection. Nothing may reach the (new) plan cache.
+			err = ErrCrashed
+		}
 		if err != nil {
 			s.rec.RecordError(t.Now(), classify(err))
 			return err
@@ -684,6 +825,11 @@ func (s *Server) Submit(t *vtime.Task, sql string) error {
 	execStart := t.Now()
 	_, err := s.exec.Execute(t, p, rng)
 	s.putRNG(rng)
+	if s.crashEpoch != epoch {
+		// Crashed mid-execution: whatever the executor concluded, the
+		// client's connection died with the old process.
+		err = ErrCrashed
+	}
 	if err != nil {
 		s.rec.RecordError(t.Now(), classify(err))
 		return err
@@ -758,13 +904,17 @@ func (s *Server) compileWork(t *vtime.Task, tasks int) {
 // ladder can block (or time out) the compiling task mid-ramp and the
 // broker's trend detector sees the footprint actually climb between
 // ticks. A failed step has already rolled the whole compilation back.
-func (s *Server) stageRamp(t *vtime.Task, comp *core.Compilation, total int64) error {
+func (s *Server) stageRamp(t *vtime.Task, comp *core.Compilation, epoch uint64, total int64) error {
 	st := s.cfg.CompileStages
 	step := st.StepBytes
 	if step <= 0 {
 		step = total
 	}
 	for reserved := int64(0); reserved < total; {
+		if s.crashEpoch != epoch {
+			comp.Abort()
+			return ErrCrashed
+		}
 		n := step
 		if rest := total - reserved; n > rest {
 			n = rest
@@ -795,6 +945,9 @@ type compileCtx struct {
 	s    *Server
 	t    *vtime.Task
 	comp *core.Compilation
+	// epoch is the crash epoch the compilation started under; a charge
+	// after the engine crashed aborts the compilation with ErrCrashed.
+	epoch uint64
 	// scale is CompileStages.CostingScale when the compilation is
 	// staged, else 0 (plain memo charges).
 	scale       float64
@@ -806,6 +959,11 @@ type compileCtx struct {
 // footprint the gateways see grows scale+1 times as fast as the memo —
 // exploration's memory is memo plus costing scratch.
 func (c *compileCtx) charge(n int64) error {
+	if c.s.crashEpoch != c.epoch {
+		// The engine crashed under this compilation; stop growing
+		// immediately (the caller aborts, releasing memory and gates).
+		return ErrCrashed
+	}
 	if c.scale > 0 {
 		extra := int64(c.scale * float64(n))
 		if err := c.comp.Alloc(n + extra); err != nil {
@@ -827,7 +985,7 @@ func (s *Server) getCompileCtx(t *vtime.Task, comp *core.Compilation, scale floa
 		c = &compileCtx{s: s}
 		c.hooks = optimizer.Hooks{Charge: c.charge, Work: c.work, BestEffort: c.bestEffort}
 	}
-	c.t, c.comp, c.scale, c.costingHeld = t, comp, scale, 0
+	c.t, c.comp, c.scale, c.costingHeld, c.epoch = t, comp, scale, 0, s.crashEpoch
 	return c
 }
 
@@ -846,6 +1004,7 @@ func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 		scale = st.CostingScale
 	}
 	ctx := s.getCompileCtx(t, comp, scale)
+	ctxEpoch := ctx.epoch
 	p, err := s.opt.Optimize(q, ctx.hooks)
 	costingHeld := ctx.costingHeld
 	// Optimize no longer holds the hooks once it returns (the pooled run
@@ -858,7 +1017,7 @@ func (s *Server) compile(t *vtime.Task, q *plan.Query) (*plan.Plan, error) {
 		return nil, err
 	}
 	if staged && !p.BestEffort {
-		if err := s.stageRamp(t, comp, int64(st.CodegenScale*float64(p.CompileBytes))); err != nil {
+		if err := s.stageRamp(t, comp, ctxEpoch, int64(st.CodegenScale*float64(p.CompileBytes))); err != nil {
 			return nil, err
 		}
 		// Costing scratch is dead once the physical plan exists; the

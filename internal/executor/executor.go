@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"compilegate/internal/bufferpool"
+	"compilegate/internal/errclass"
 	"compilegate/internal/freelist"
 	"compilegate/internal/mem"
 	"compilegate/internal/plan"
@@ -29,6 +30,10 @@ func (e *ErrGrantTimeout) Error() string {
 	return fmt.Sprintf("executor: timed out after %v waiting for %s execution grant",
 		e.Wait, mem.FormatBytes(e.Bytes))
 }
+
+// Is classifies a grant timeout as an expired resource wait (the work
+// was admitted; the memory never arrived), not shed work.
+func (e *ErrGrantTimeout) Is(target error) bool { return target == errclass.Timeout }
 
 // GrantManager queues execution memory grants against a tracker, FIFO
 // with timeout — the RESOURCE_SEMAPHORE analogue.

@@ -23,12 +23,16 @@ import (
 	"strings"
 	"time"
 
+	"compilegate/internal/errclass"
 	"compilegate/internal/mem"
 	"compilegate/internal/vtime"
 )
 
 // ErrTimeout is returned when a compilation waits longer than a gate's
-// timeout. The error text identifies the gate.
+// timeout. The error text identifies the gate and formats lazily — the
+// chain recycles one value in place per failure (like the budget's OOM
+// errors), so a retry storm of timeouts allocates nothing. Callers that
+// keep a timeout past the chain's next failure must copy the value.
 type ErrTimeout struct {
 	Gate string
 	Wait time.Duration
@@ -37,6 +41,11 @@ type ErrTimeout struct {
 func (e *ErrTimeout) Error() string {
 	return fmt.Sprintf("gateway: timed out after %v waiting for %s gate", e.Wait, e.Gate)
 }
+
+// Is classifies a gate timeout as deliberately shed work: the monitor
+// refused the compilation to protect the machine, so a well-behaved
+// client does not resubmit it.
+func (e *ErrTimeout) Is(target error) bool { return target == errclass.Shed }
 
 // LevelConfig describes one gateway level.
 type LevelConfig struct {
@@ -113,6 +122,9 @@ type Chain struct {
 	acquires  uint64
 	timeouts  uint64
 	waitTotal time.Duration
+
+	// timeoutErr is the recycled timeout error, rewritten per failure.
+	timeoutErr ErrTimeout
 }
 
 type level struct {
@@ -285,9 +297,9 @@ func (t *Ticket) Update(task *vtime.Task, usage int64) error {
 		t.chain.waitTotal += waited
 		if !ok {
 			t.chain.timeouts++
-			err := &ErrTimeout{Gate: l.cfg.Name, Wait: waited}
+			t.chain.timeoutErr = ErrTimeout{Gate: l.cfg.Name, Wait: waited}
 			t.Close()
-			return err
+			return &t.chain.timeoutErr
 		}
 		t.chain.acquires++
 		t.held++

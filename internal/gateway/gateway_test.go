@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"compilegate/internal/errclass"
 	"compilegate/internal/mem"
 	"compilegate/internal/vtime"
 )
@@ -396,5 +397,55 @@ func TestQuickGatewayInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTimeoutErrorRecycled pins the allocation discipline of the retry
+// path: every timeout on a chain returns the same recycled *ErrTimeout,
+// rewritten in place, and the taxonomy classifies it as shed work
+// without formatting anything. Callers that retain the error must copy
+// it — this test is the contract saying so.
+func TestTimeoutErrorRecycled(t *testing.T) {
+	s := vtime.NewScheduler()
+	cfg := testConfig()
+	c := mustChain(t, cfg)
+	s.Go("hog", func(tk *vtime.Task) {
+		ti := c.NewTicket()
+		if err := ti.Update(tk, 50000); err != nil {
+			t.Error(err)
+		}
+		tk.Sleep(time.Hour)
+		ti.Close()
+	})
+	var errs []error
+	for v := 0; v < 2; v++ {
+		s.Go("victim", func(tk *vtime.Task) {
+			tk.Sleep(time.Millisecond)
+			ti := c.NewTicket()
+			if err := ti.Update(tk, 50000); err != nil {
+				errs = append(errs, err)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("got %d timeout errors, want 2", len(errs))
+	}
+	if errs[0] != errs[1] {
+		t.Fatalf("timeout errors not recycled: %p vs %p", errs[0], errs[1])
+	}
+	if !errclass.IsShed(errs[0]) {
+		t.Fatalf("recycled timeout not classified as shed: %v", errs[0])
+	}
+	te := errs[0].(*ErrTimeout)
+	if allocs := testing.AllocsPerRun(100, func() {
+		*te = ErrTimeout{Gate: "big", Wait: 4 * time.Second}
+		if !errclass.IsShed(te) {
+			t.Error("rewritten timeout lost its class")
+		}
+	}); allocs != 0 {
+		t.Fatalf("recycled timeout rewrite allocates %.1f/op, want 0", allocs)
 	}
 }

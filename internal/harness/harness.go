@@ -7,10 +7,12 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
 	"compilegate/internal/engine"
+	"compilegate/internal/fault"
 	"compilegate/internal/metrics"
 	"compilegate/internal/vtime"
 	"compilegate/internal/workload"
@@ -40,6 +42,11 @@ type Options struct {
 	Engine *engine.Config
 	// Load overrides the default load config when non-nil.
 	Load *workload.LoadConfig
+	// Fault, when non-nil and non-empty, injects the scripted failure
+	// plan into the run. Injections execute as ordinary scheduler tasks,
+	// so determinism and sweep invariance are unaffected. The plan must
+	// clear before Horizon.
+	Fault *fault.Plan
 	// Snapshot, when non-nil, supplies the shared immutable run state
 	// (catalog, estimator, layout, statement identities) instead of the
 	// process-wide cache. Its shape must match Workload and Scale. Runs
@@ -97,6 +104,17 @@ type Result struct {
 	// SimEvents is how many scheduler events the run dispatched — the
 	// numerator of the simulator's own sim-events/sec throughput metric.
 	SimEvents uint64
+	// Fault reports what the fault plane did (nil for clean runs).
+	Fault *fault.Stats
+	// PreFaultThroughput is the mean completions per slice over full
+	// slices before the first injection (0 when unmeasurable).
+	PreFaultThroughput float64
+	// Recovered reports whether, after the last injection cleared,
+	// throughput came back within 10% of PreFaultThroughput before the
+	// horizon; RecoveryTime is virtual time from fault clear to the end
+	// of the first recovered slice — the graceful-degradation metric.
+	Recovered    bool
+	RecoveryTime time.Duration
 	// Report is the engine's diagnostic dump.
 	Report string
 }
@@ -151,6 +169,15 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	if o.Warmup >= o.Horizon {
 		return nil, fmt.Errorf("harness: warmup %v >= horizon %v", o.Warmup, o.Horizon)
 	}
+	injecting := o.Fault != nil && !o.Fault.Empty()
+	if injecting {
+		if err := o.Fault.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		if lc := o.Fault.LastClear(); lc > o.Horizon {
+			return nil, fmt.Errorf("harness: fault plan clears at %v, past horizon %v", lc, o.Horizon)
+		}
+	}
 
 	var ecfg engine.Config
 	if o.Engine != nil {
@@ -193,8 +220,35 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	gen := o.Workload.Generator()
 	loadStats := workload.Run(sched, srv, gen, lcfg, srv.Close)
 
+	// The fault plane spawns after the client population so task creation
+	// order — and with it the whole event schedule — is a pure function
+	// of the options.
+	var faultStats *fault.Stats
+	if injecting {
+		heavy := gen.Next
+		if hg, ok := gen.(interface {
+			NextHeavy(*rand.Rand) string
+		}); ok {
+			heavy = hg.NextHeavy
+		}
+		stormRNG := rand.New(rand.NewSource(o.Fault.Seed))
+		faultStats = fault.Inject(sched, *o.Fault, fault.Surface{
+			SetDiskStall: srv.SetDiskFault,
+			Leak:         srv.LeakBallast,
+			DropLeak:     srv.DropBallast,
+			Crash:        srv.Crash,
+			Restart:      srv.Restart,
+			StormQuery: func(t *vtime.Task) error {
+				return srv.Submit(t, heavy(stormRNG))
+			},
+		})
+	}
+
 	if err := sched.Run(); err != nil {
 		return nil, fmt.Errorf("harness: simulation error: %w", err)
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("harness: post-run invariant violation: %w", err)
 	}
 
 	rec := srv.Recorder()
@@ -226,7 +280,43 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	if chain := srv.Governor().Chain(); chain != nil {
 		res.GatewayTimeouts = chain.Timeouts()
 	}
+	if faultStats != nil {
+		res.Fault = faultStats
+		measureRecovery(res, rec, o)
+	}
 	return res, nil
+}
+
+// measureRecovery computes the graceful-degradation metric: pre-fault
+// throughput as the mean over full slices before the first injection
+// (slice 0 excluded — it is ramp-up), then the first slice at or after
+// the last clear whose completions are back within 10% of that mean.
+func measureRecovery(res *Result, rec *metrics.Recorder, o Options) {
+	onset, clear := o.Fault.FirstOnset(), o.Fault.LastClear()
+	series := rec.CompletionSeries(0, o.Horizon)
+	sliceDur := rec.SliceDur()
+	var sum, n int64
+	for _, p := range series {
+		if p.T > 0 && p.T+sliceDur <= onset {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	pre := float64(sum) / float64(n)
+	res.PreFaultThroughput = pre
+	for _, p := range series {
+		if p.T < clear {
+			continue
+		}
+		if float64(p.V) >= 0.9*pre {
+			res.Recovered = true
+			res.RecoveryTime = p.T + sliceDur - clear
+			return
+		}
+	}
 }
 
 // SeriesString renders a completion series like the paper's figures.

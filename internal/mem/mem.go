@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"compilegate/internal/errclass"
 )
 
 // ErrOutOfMemory is returned when a reservation cannot be satisfied even
@@ -59,6 +61,9 @@ func (e *oomError) Error() string {
 }
 
 func (e *oomError) Unwrap() error { return ErrOutOfMemory }
+
+// Is places failed reservations in the engine's error taxonomy.
+func (e *oomError) Is(target error) bool { return target == errclass.OOM }
 
 // Byte-size constants for readability in configuration.
 const (
@@ -172,6 +177,41 @@ type Usage struct {
 	Used  int64
 	Peak  int64
 	Limit int64 // 0 when the tracker has no cap
+}
+
+// CheckConservation audits the budget's double-entry bookkeeping: every
+// byte of Used is attributed to exactly one tracker, the wired total is
+// the sum over non-reclaimable trackers, and each group's usage is the
+// sum over its member trackers. The fault plane's fuzz harness runs this
+// after every simulated schedule — any reserve/spill/release path that
+// loses or double-counts bytes surfaces here.
+func (b *Budget) CheckConservation() error {
+	var used, wired int64
+	groups := make(map[*Group]int64)
+	for _, t := range b.trackers {
+		if t.used < 0 {
+			return fmt.Errorf("mem: tracker %s used %d < 0", t.name, t.used)
+		}
+		used += t.used
+		if !t.reclaimable {
+			wired += t.used
+		}
+		if t.group != nil {
+			groups[t.group] += t.used
+		}
+	}
+	if used != b.used {
+		return fmt.Errorf("mem: budget used %d != tracker sum %d", b.used, used)
+	}
+	if wired != b.wired {
+		return fmt.Errorf("mem: budget wired %d != non-reclaimable sum %d", b.wired, wired)
+	}
+	for g, sum := range groups {
+		if g.used != sum {
+			return fmt.Errorf("mem: group %s used %d != member sum %d", g.name, g.used, sum)
+		}
+	}
+	return nil
 }
 
 // Snapshot returns per-component usage sorted by name.

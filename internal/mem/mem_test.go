@@ -218,3 +218,122 @@ func TestQuickAccountingInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCheckConservationHealthy(t *testing.T) {
+	b := NewBudget(1 << 30)
+	g := b.NewGroup("exec", 256*MiB)
+	if g.Name() != "exec" || g.Total() != g.Cap() || g.Free() != g.Cap() {
+		t.Fatalf("group surface: name=%q total=%d cap=%d free=%d", g.Name(), g.Total(), g.Cap(), g.Free())
+	}
+	grants := b.NewTracker("grants")
+	grants.SetGroup(g)
+	if grants.Name() != "grants" || grants.Limit() != 0 {
+		t.Fatalf("tracker surface: name=%q limit=%d", grants.Name(), grants.Limit())
+	}
+	cache := b.NewTracker("cache")
+	cache.MarkReclaimable()
+	grants.MustReserve(64 * MiB)
+	cache.MustReserve(32 * MiB)
+	if err := b.CheckConservation(); err != nil {
+		t.Fatalf("healthy budget: %v", err)
+	}
+	grants.Release(64 * MiB)
+	cache.ReleaseAll()
+	if err := b.CheckConservation(); err != nil {
+		t.Fatalf("drained budget: %v", err)
+	}
+}
+
+// TestCheckConservationViolations corrupts one side of the double-entry
+// bookkeeping at a time and expects the audit to name exactly that
+// violation.
+func TestCheckConservationViolations(t *testing.T) {
+	wantErr := func(t *testing.T, err error, frag string) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("CheckConservation passed; want error containing %q", frag)
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("CheckConservation = %q, want %q", err, frag)
+		}
+	}
+	t.Run("negative-tracker", func(t *testing.T) {
+		b := NewBudget(1 << 20)
+		b.NewTracker("x").used = -3
+		wantErr(t, b.CheckConservation(), "used -3 < 0")
+	})
+	t.Run("budget-sum", func(t *testing.T) {
+		b := NewBudget(1 << 20)
+		b.NewTracker("x").MustReserve(100)
+		b.used++
+		wantErr(t, b.CheckConservation(), "budget used")
+	})
+	t.Run("wired-sum", func(t *testing.T) {
+		b := NewBudget(1 << 20)
+		tr := b.NewTracker("x")
+		tr.MustReserve(100)
+		tr.reclaimable = true // lie post-hoc: wired total now overcounts
+		wantErr(t, b.CheckConservation(), "non-reclaimable sum")
+	})
+	t.Run("group-sum", func(t *testing.T) {
+		b := NewBudget(1 << 20)
+		g := b.NewGroup("g", 1<<19)
+		tr := b.NewTracker("x")
+		tr.SetGroup(g)
+		tr.MustReserve(100)
+		g.used++
+		wantErr(t, b.CheckConservation(), "member sum")
+	})
+}
+
+func TestMustReservePanicsOnOOM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustReserve past the budget did not panic")
+		}
+	}()
+	b := NewBudget(100)
+	b.NewTracker("x").MustReserve(200)
+}
+
+func TestOOMErrorMessage(t *testing.T) {
+	b := NewBudget(100)
+	err := b.NewTracker("x").Reserve(200)
+	if err == nil {
+		t.Fatal("over-budget Reserve succeeded")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "budget exhausted") {
+		t.Fatalf("oom message = %q", msg)
+	}
+}
+
+func TestPressureModelLimits(t *testing.T) {
+	m := DefaultPressureModel()
+	if !m.Enabled {
+		t.Fatal("default pressure model disabled")
+	}
+	if got := m.commitLimit(1000); got != 1500 {
+		t.Fatalf("commitLimit(1000) = %d, want 1500", got)
+	}
+	if got, want := m.pagingThreshold(1000), int64((1-m.CacheReserveFrac)*1000); got != want {
+		t.Fatalf("pagingThreshold(1000) = %d, want %d", got, want)
+	}
+	m.CacheReserveFrac = 2 // nonsense fraction clamps to the whole machine
+	if got := m.pagingThreshold(1000); got != 1000 {
+		t.Fatalf("clamped pagingThreshold = %d, want 1000", got)
+	}
+	m.Enabled = false
+	if got := m.commitLimit(1000); got != 1000 {
+		t.Fatalf("disabled commitLimit(1000) = %d, want 1000", got)
+	}
+
+	b := NewBudget(1 << 20)
+	tr := b.NewTracker("x")
+	if tr.Overcommittable() {
+		t.Fatal("tracker overcommittable by default")
+	}
+	tr.AllowOvercommit()
+	if !tr.Overcommittable() {
+		t.Fatal("AllowOvercommit did not stick")
+	}
+}

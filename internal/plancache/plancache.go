@@ -161,6 +161,17 @@ func (c *Cache) Put(key string, p *plan.Plan, now time.Duration) {
 	c.inserts++
 }
 
+// Clear drops every cached plan, releasing all tracker charge — the
+// cache's state after a crash/restart (an in-memory cache does not
+// survive the process).
+func (c *Cache) Clear() {
+	// Not routed through evictOldest: losing the cache to a crash is not
+	// an eviction, so the eviction counter stays a pure LRU measurement.
+	for c.back != nil {
+		c.release(c.back)
+	}
+}
+
 // evictOldest removes the least-recently-used plan; reports success.
 func (c *Cache) evictOldest() bool {
 	e := c.back

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// Fault-plane claims: graceful degradation under scripted failures,
+// replicated over the claim seed population like every other pinned
+// claim. Calibration (5 seeds, 2 h window): retry-storm ratio 5.0-6.9x
+// with baseline retries 6-8x the throttled driver's; throttled recovery
+// 600-1800 s after a disk stall and 1560-3360 s after a crash (the
+// never-recovered penalty at these schedules is 3600-3960 s, so the
+// bands genuinely require recovery, not just a finite score).
+
+// metricRetryAmplification is baseline retries over throttled retries
+// within a seed: how much extra work the aggressive driver re-injects
+// when nothing sheds load for it.
+var metricRetryAmplification = Metric{"retry-amp", func(r SeedRun) float64 {
+	if r.Result.Load.Retries == 0 {
+		return RatioCap
+	}
+	return math.Min(RatioCap, float64(r.Baseline.Load.Retries)/float64(r.Result.Load.Retries))
+}}
+
+// TestClaimRetryStorm pins the robustness headline: under a compile-storm
+// burst with aggressive client retries at 40 clients, the throttled
+// server (brown-out on, shed work not resubmitted) sustains at least 3x
+// the collapsing baseline, because baseline timeouts amplify into at
+// least 4x the retry traffic.
+func TestClaimRetryStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	rep := claimReplication(t, "retry-storm")
+	ClaimBand{
+		Claim:  "retry-storm: throttled sustains >= 3x baseline throughput under the storm",
+		Metric: MetricThroughputRatio, Lo: 3, Hi: math.Inf(1),
+	}.Assert(t, rep)
+	ClaimBand{
+		Claim:  "retry-storm: baseline clients re-inject >= 4x the retries of the cooperating driver",
+		Metric: metricRetryAmplification, Lo: 4, Hi: math.Inf(1),
+	}.Assert(t, rep)
+}
+
+// TestClaimBoundedRecovery pins the graceful-degradation claim for the
+// throttled server only: after the fault clears, throughput returns to
+// within 10% of its pre-fault level in bounded virtual time — under 40
+// minutes for a 20-minute 6x disk stall, under an hour for a crash that
+// loses the plan cache (the extra time is the cold cache re-warming).
+// The baseline twin makes no such promise and is not asserted.
+func TestClaimBoundedRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	ClaimBand{
+		Claim:  "fault-diskstall: throttled throughput recovers within 40 min of the stall clearing",
+		Metric: MetricRecoveryTime, Lo: 0, Hi: 2400,
+	}.Assert(t, claimReplication(t, "fault-diskstall"))
+	ClaimBand{
+		Claim:  "fault-crash-restart: throttled throughput recovers within 60 min of restart",
+		Metric: MetricRecoveryTime, Lo: 0, Hi: 3600,
+	}.Assert(t, claimReplication(t, "fault-crash-restart"))
+}

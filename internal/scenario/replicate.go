@@ -160,6 +160,18 @@ var (
 	MetricExecP50 = Metric{"exec-p50s", func(r SeedRun) float64 { return r.Result.ExecP50.Seconds() }}
 	// MetricGatewayTimeouts counts throttle-induced timeouts.
 	MetricGatewayTimeouts = Metric{"gw-timeouts", func(r SeedRun) float64 { return float64(r.Result.GatewayTimeouts) }}
+	// MetricRecoveryTime is seconds from fault clear to recovered
+	// throughput (fault scenarios only). A run that never got back within
+	// 10% of its pre-fault throughput scores the whole remaining horizon —
+	// a penalty any bounded-recovery band rejects.
+	MetricRecoveryTime = Metric{"recovery-s", func(r SeedRun) float64 {
+		if !r.Result.Recovered {
+			return (r.Result.Options.Horizon - r.Result.Options.Fault.LastClear()).Seconds()
+		}
+		return r.Result.RecoveryTime.Seconds()
+	}}
+	// MetricRetries counts client-side resubmissions over the run.
+	MetricRetries = Metric{"retries", func(r SeedRun) float64 { return float64(r.Result.Load.Retries) }}
 )
 
 // Samples extracts m across the seeds, in seed order.

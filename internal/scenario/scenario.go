@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"compilegate/internal/engine"
+	"compilegate/internal/fault"
 	"compilegate/internal/harness"
 	"compilegate/internal/vtime"
 	"compilegate/internal/workload"
@@ -51,6 +52,9 @@ type Scenario struct {
 	// Load, when non-nil, mutates the default load config (think time,
 	// retry policy).
 	Load func(*workload.LoadConfig)
+	// Fault, when non-nil, is the scripted failure plan injected into the
+	// run (shared read-only across sweep runs of the scenario).
+	Fault *fault.Plan
 }
 
 // Validate reports whether the scenario describes a runnable experiment.
@@ -70,6 +74,11 @@ func (s Scenario) Validate() error {
 	if s.Horizon <= 0 || s.Warmup < 0 || s.Warmup >= s.Horizon {
 		return fmt.Errorf("scenario %s: window [%v, %v)", s.Name, s.Warmup, s.Horizon)
 	}
+	if s.Fault != nil {
+		if err := s.Fault.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -85,6 +94,7 @@ func (s Scenario) Options() harness.Options {
 		Scale:     s.Scale,
 		Workload:  s.Workload,
 		Seed:      s.Seed,
+		Fault:     s.Fault,
 	}
 	if s.Engine != nil {
 		cfg := engine.DefaultConfig()

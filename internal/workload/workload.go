@@ -309,6 +309,17 @@ func (s *Sales) Next(rng *rand.Rand) string {
 			}
 		}
 	}
+	return s.render(t, rng)
+}
+
+// NextHeavy draws only from the heavy wide-scan templates — the big-join
+// fingerprints a compile-storm fault injects as a burst of arrivals.
+func (s *Sales) NextHeavy(rng *rand.Rand) string {
+	return s.render(&s.templates[heavyTemplates[rng.Intn(len(heavyTemplates))]], rng)
+}
+
+// render assembles one statement from the chosen template.
+func (s *Sales) render(t *salesTemplate, rng *rand.Rand) string {
 	buf := append(s.buf[:0], t.head...)
 
 	// Fact date-range filter: selectivity drawn from the template band.

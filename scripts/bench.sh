@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the figure benchmarks and emit a JSON record (default
-# BENCH_PR6.json) with ns/op, allocs/op, and sim-events/sec per
+# BENCH_PR8.json) with ns/op, allocs/op, and sim-events/sec per
 # benchmark, plus the speedup against the recorded pre-rewrite (PR 2)
 # scheduler baselines.
 #
@@ -35,7 +35,7 @@ if [ "${1:-}" = "-check" ]; then
     CHECK=1
 fi
 
-BENCH="${BENCH:-Figure3Throughput30|Figure5Collapse40|ClientSweep}"
+BENCH="${BENCH:-Figure3Throughput30|Figure5Collapse40|ClientSweep|RetryStorm}"
 # Microsecond-scale benchmarks are clock jitter at -benchtime 1x (one
 # 40us iteration swings +-40%), so they run in their own tier with
 # enough iterations to average the jitter out and make the 15% gate
@@ -45,7 +45,7 @@ MICROTIME="${MICROTIME:-100x}"
 VTBENCH="${VTBENCH:-TimerWheel}"
 COUNT="${COUNT:-1}"
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_PR6.json}"
+OUT="${OUT:-BENCH_PR8.json}"
 
 # The perf gate is a ratchet: unless BASELINE is set explicitly, compare
 # against the newest committed BENCH_*.json other than $OUT itself, so

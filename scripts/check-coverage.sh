@@ -3,13 +3,14 @@
 # on: the staged compile-memory model (engine/mem), the deterministic
 # event core (vtime), and the replication/claims machinery (scenario).
 # Floors sit a few points below the measured coverage at the time they
-# were set (engine 82.0, mem 84.7, scenario 85.4, vtime 95.0), so they
-# trip on real regressions, not on refactoring noise.
+# were set (engine 82.0, mem 84.7, scenario 85.4, vtime 95.0, fault
+# 100.0), so they trip on real regressions, not on refactoring noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 declare -A floors=(
   ["./internal/engine"]=79
+  ["./internal/fault"]=85
   ["./internal/mem"]=82
   ["./internal/scenario"]=80
   ["./internal/vtime"]=90
