@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"compilegate/internal/catalog"
+	"compilegate/internal/cluster"
 	"compilegate/internal/core"
 	"compilegate/internal/engine"
 	"compilegate/internal/errclass"
@@ -348,6 +349,41 @@ func BenchmarkRetryStorm(b *testing.B) {
 		b.ReportMetric(float64(ba.Load.Retries), "baseline-retries")
 		b.ReportMetric(float64(th.Load.GiveUps), "giveups")
 		b.ReportMetric(th.RecoveryTime.Seconds(), "recovery-s")
+	}
+	meter.report(b)
+}
+
+// BenchmarkCluster runs the cluster plane: the three registered
+// multi-node scenarios plus the affinity experiment's round-robin twin,
+// all concurrently, on their registered windows (they are already
+// bench-sized; the 1000-client round-robin run dominates the cost).
+// The headline custom metric is the plan-cache locality margin the
+// routing-policy claim pins.
+func BenchmarkCluster(b *testing.B) {
+	meter := startSimMeter(b)
+	for i := 0; i < b.N; i++ {
+		rr, ok := scenario.Get("cluster-roundrobin")
+		if !ok {
+			b.Fatal("cluster-roundrobin not registered")
+		}
+		aff, ok := scenario.Get("cluster-affinity")
+		if !ok {
+			b.Fatal("cluster-affinity not registered")
+		}
+		affTwin := aff
+		affTwin.Name = "cluster-affinity-roundrobin"
+		affTwin.Router = cluster.RoundRobin
+		loss, ok := scenario.Get("cluster-nodeloss")
+		if !ok {
+			b.Fatal("cluster-nodeloss not registered")
+		}
+		res := mustSweep(b, rr, aff, affTwin, loss)
+		meter.add(res...)
+		b.ReportMetric(float64(res[0].Completed), "roundrobin-completions")
+		b.ReportMetric(res[1].PlanCacheHitRate, "affinity-hit-rate")
+		b.ReportMetric(res[1].PlanCacheHitRate-res[2].PlanCacheHitRate, "affinity-hit-margin")
+		b.ReportMetric(float64(res[3].Errors), "nodeloss-errors")
+		b.ReportMetric(res[3].RecoveryTime.Seconds(), "nodeloss-recovery-s")
 	}
 	meter.report(b)
 }

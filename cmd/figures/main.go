@@ -157,6 +157,22 @@ func renderPair(pair [2]compilegate.SweepResult) {
 	}
 	ratio, summary := compilegate.CompareRuns(th, ba)
 	fmt.Printf("  ratio: %.2fx — %s\n\n", ratio, summary)
+	renderNodes(th)
+}
+
+// renderNodes prints the per-node breakdown of a cluster run (no output
+// for single-server results).
+func renderNodes(r *compilegate.BenchmarkResult) {
+	if len(r.NodeResults) == 0 {
+		return
+	}
+	fmt.Printf("  per-node breakdown (%s router):\n", r.Options.Router)
+	fmt.Println("  node     routed  completed  errors  plan-hit  crashes")
+	for _, nr := range r.NodeResults {
+		fmt.Printf("  %4d  %9d  %9d  %6d  %8.4f  %7d\n",
+			nr.Node, nr.Routed, nr.Completed, nr.Errors, nr.PlanCacheHitRate, nr.Crashes)
+	}
+	fmt.Println()
 }
 
 // figure1 prints the monitor ladder (thresholds ascending, concurrency

@@ -25,6 +25,7 @@ import (
 
 	"compilegate/internal/broker"
 	"compilegate/internal/catalog"
+	"compilegate/internal/cluster"
 	"compilegate/internal/core"
 	"compilegate/internal/engine"
 	"compilegate/internal/gateway"
@@ -101,6 +102,16 @@ type (
 	BenchmarkOptions = harness.Options
 	// BenchmarkResult carries one run's measurements.
 	BenchmarkResult = harness.Result
+	// NodeResult is one cluster node's share of a multi-node run
+	// (BenchmarkResult.NodeResults, nil for single-server runs).
+	NodeResult = harness.NodeResult
+
+	// RouterPolicy selects how a cluster run routes statements to its
+	// nodes (round-robin, least-loaded, fingerprint affinity).
+	RouterPolicy = cluster.Policy
+	// ClusterRouter is the deterministic statement router fronting the
+	// nodes of a multi-node run.
+	ClusterRouter = cluster.Router
 
 	// Scenario declaratively describes one experiment: workload spec,
 	// catalog scale, client population, measurement window, and
@@ -306,6 +317,13 @@ const (
 	Grow   = broker.Grow
 	Stable = broker.Stable
 	Shrink = broker.Shrink
+)
+
+// The cluster routing policies (Scenario.Router / BenchmarkOptions.Router).
+const (
+	RouteRoundRobin  = cluster.RoundRobin
+	RouteLeastLoaded = cluster.LeastLoaded
+	RouteAffinity    = cluster.Affinity
 )
 
 // Version of the reproduction.

@@ -1,0 +1,186 @@
+// Package cluster models a fleet of independent engine instances behind
+// a deterministic router — the deployment architecture real systems put
+// in front of the paper's single server: N nodes, each with its own
+// memory budget, governor, plan cache, and buffer pool, sharing nothing
+// but the event loop and the immutable run snapshot.
+//
+// Determinism is by construction: the node list is fixed at router
+// construction, every routing decision is a pure function of the
+// statement text and per-node counters mutated only from task context
+// on the run's single event loop, and no policy draws randomness. A
+// cluster run is therefore exactly as reproducible as a single-server
+// run, and sweep shard/worker invariance carries over untouched.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"compilegate/internal/sqlparser"
+	"compilegate/internal/vtime"
+	"compilegate/internal/workload"
+)
+
+// Policy names a routing discipline.
+type Policy string
+
+const (
+	// RoundRobin cycles through the nodes in construction order,
+	// skipping crashed nodes — external load balancing with health
+	// checks and no statement inspection.
+	RoundRobin Policy = "round-robin"
+	// LeastLoaded picks the live node with the fewest active
+	// compilations (ties break to the lowest index) — the router sheds
+	// around a node whose compile queue is backing up.
+	LeastLoaded Policy = "least-loaded"
+	// Affinity hashes the statement fingerprint to a home node, so a
+	// recurring statement always lands where its plan is already
+	// cached; crashed homes fall through to the next live node.
+	Affinity Policy = "affinity"
+)
+
+// Valid reports whether the policy names a known discipline. The empty
+// policy is valid and means RoundRobin, so zero-valued options keep the
+// classic behaviour.
+func (p Policy) Valid() bool {
+	switch p {
+	case "", RoundRobin, LeastLoaded, Affinity:
+		return true
+	}
+	return false
+}
+
+func (p Policy) orDefault() Policy {
+	if p == "" {
+		return RoundRobin
+	}
+	return p
+}
+
+// String returns the canonical policy name.
+func (p Policy) String() string { return string(p.orDefault()) }
+
+// Node is the router's view of one engine instance: it accepts
+// submissions, reports whether it is crashed, and exposes the load
+// signal the least-loaded policy balances on. engine.Server implements
+// it.
+type Node interface {
+	workload.Submitter
+	// Down reports whether the node is crashed (submissions fail until
+	// it restarts).
+	Down() bool
+	// ActiveCompiles is the node's in-flight compilation count.
+	ActiveCompiles() int
+}
+
+// Router fronts a fixed fleet of nodes and implements
+// workload.Submitter: clients submit to the router, the router picks a
+// node under its policy and forwards the query. When every node is
+// down the submission still goes to the policy's first choice, whose
+// crash error flows back to the client's retry loop — the router
+// models a load balancer, not a queue.
+type Router struct {
+	policy Policy
+	nodes  []Node
+
+	next     int      // round-robin cursor
+	routed   []uint64 // per-node forwarded submissions
+	rerouted uint64   // submissions steered away from a down node
+}
+
+// New builds a router over the nodes in the given (fixed) order.
+func New(policy Policy, nodes []Node) (*Router, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if !policy.Valid() {
+		return nil, fmt.Errorf("cluster: unknown policy %q", string(policy))
+	}
+	return &Router{
+		policy: policy.orDefault(),
+		nodes:  nodes,
+		routed: make([]uint64, len(nodes)),
+	}, nil
+}
+
+// Policy returns the routing discipline.
+func (r *Router) Policy() Policy { return r.policy }
+
+// Len returns the node count.
+func (r *Router) Len() int { return len(r.nodes) }
+
+// Routed returns how many submissions were forwarded to node i.
+func (r *Router) Routed(i int) uint64 { return r.routed[i] }
+
+// Rerouted returns how many submissions were steered away from a down
+// node (their policy's first choice was crashed).
+func (r *Router) Rerouted() uint64 { return r.rerouted }
+
+// Submit implements workload.Submitter: route one query to a node.
+// Must be called from task context; the counters it mutates are what
+// make later routing decisions, so calls are strictly ordered by the
+// event loop.
+func (r *Router) Submit(t *vtime.Task, sql string) error {
+	i := r.pick(sql)
+	r.routed[i]++
+	return r.nodes[i].Submit(t, sql)
+}
+
+// pick selects the target node index under the policy.
+func (r *Router) pick(sql string) int {
+	switch r.policy {
+	case LeastLoaded:
+		return r.pickLeastLoaded()
+	case Affinity:
+		home := int(sqlparser.Hash64(sqlparser.Fingerprint(sql)) % uint64(len(r.nodes)))
+		return r.liveFrom(home)
+	default: // RoundRobin
+		i := r.liveFrom(r.next)
+		r.next = (i + 1) % len(r.nodes)
+		return i
+	}
+}
+
+// liveFrom returns the first live node at or after start (wrapping), or
+// start itself when the whole fleet is down.
+func (r *Router) liveFrom(start int) int {
+	n := len(r.nodes)
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if !r.nodes[i].Down() {
+			if k > 0 {
+				r.rerouted++
+			}
+			return i
+		}
+	}
+	return start
+}
+
+// pickLeastLoaded returns the live node with the fewest active
+// compilations, lowest index on ties; node 0 when the fleet is down.
+func (r *Router) pickLeastLoaded() int {
+	best, bestLoad := -1, 0
+	for i, node := range r.nodes {
+		if node.Down() {
+			continue
+		}
+		if load := node.ActiveCompiles(); best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Report renders the routing distribution for diagnostics.
+func (r *Router) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "router policy=%s nodes=%d rerouted=%d\n", r.policy, len(r.nodes), r.rerouted)
+	for i, n := range r.routed {
+		fmt.Fprintf(&sb, "  node %d: routed=%d\n", i, n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"compilegate/internal/sqlparser"
+	"compilegate/internal/vtime"
+)
+
+// fakeNode records submissions and plays back scripted health/load.
+type fakeNode struct {
+	down      bool
+	active    int
+	submitted []string
+	err       error
+}
+
+func (f *fakeNode) Submit(t *vtime.Task, sql string) error {
+	f.submitted = append(f.submitted, sql)
+	return f.err
+}
+
+func (f *fakeNode) Down() bool          { return f.down }
+func (f *fakeNode) ActiveCompiles() int { return f.active }
+
+func fleet(n int) ([]*fakeNode, []Node) {
+	fakes := make([]*fakeNode, n)
+	nodes := make([]Node, n)
+	for i := range fakes {
+		fakes[i] = &fakeNode{}
+		nodes[i] = fakes[i]
+	}
+	return fakes, nodes
+}
+
+func TestPolicyValidation(t *testing.T) {
+	for _, p := range []Policy{"", RoundRobin, LeastLoaded, Affinity} {
+		if !p.Valid() {
+			t.Errorf("policy %q should be valid", p)
+		}
+	}
+	if Policy("random").Valid() {
+		t.Error("unknown policy validated")
+	}
+	if Policy("").String() != "round-robin" {
+		t.Errorf("empty policy renders %q, want round-robin", Policy("").String())
+	}
+	if _, err := New("bogus", []Node{&fakeNode{}}); err == nil {
+		t.Error("router accepted an unknown policy")
+	}
+	if _, err := New(RoundRobin, nil); err == nil {
+		t.Error("router accepted an empty fleet")
+	}
+}
+
+func TestRoundRobinCyclesAndSkipsDownNodes(t *testing.T) {
+	fakes, nodes := fleet(3)
+	r, err := New(RoundRobin, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := r.Submit(nil, "q"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range fakes {
+		if len(f.submitted) != 2 {
+			t.Errorf("node %d got %d submissions, want 2", i, len(f.submitted))
+		}
+	}
+
+	// Node 1 crashes: its turn falls through to node 2 and the cursor
+	// continues from there.
+	fakes[1].down = true
+	for i := 0; i < 4; i++ {
+		r.Submit(nil, "q")
+	}
+	if len(fakes[1].submitted) != 2 {
+		t.Errorf("down node received %d submissions, want still 2", len(fakes[1].submitted))
+	}
+	if got := len(fakes[0].submitted) + len(fakes[2].submitted); got != 8 {
+		t.Errorf("live nodes received %d total, want 8", got)
+	}
+	if r.Rerouted() == 0 {
+		t.Error("rerouted counter did not move while a node was down")
+	}
+}
+
+func TestRoundRobinAllDownFallsBack(t *testing.T) {
+	fakes, nodes := fleet(2)
+	for _, f := range fakes {
+		f.down = true
+		f.err = errors.New("crashed")
+	}
+	r, _ := New(RoundRobin, nodes)
+	if err := r.Submit(nil, "q"); err == nil {
+		t.Fatal("submission to an all-down fleet should surface the node error")
+	}
+	if len(fakes[0].submitted)+len(fakes[1].submitted) != 1 {
+		t.Fatal("all-down fleet should still receive the doomed submission")
+	}
+}
+
+func TestLeastLoadedPicksArgminWithStableTies(t *testing.T) {
+	fakes, nodes := fleet(3)
+	fakes[0].active, fakes[1].active, fakes[2].active = 4, 1, 1
+	r, _ := New(LeastLoaded, nodes)
+	r.Submit(nil, "q")
+	if len(fakes[1].submitted) != 1 {
+		t.Fatal("least-loaded must break ties to the lowest index")
+	}
+	fakes[1].active = 9
+	r.Submit(nil, "q")
+	if len(fakes[2].submitted) != 1 {
+		t.Fatal("least-loaded did not track the load signal")
+	}
+	// The lightest node crashing removes it from consideration.
+	fakes[2].down = true
+	r.Submit(nil, "q")
+	if len(fakes[0].submitted) != 1 {
+		t.Fatal("least-loaded routed to a down node")
+	}
+}
+
+func TestAffinityPinsStatementsToHomes(t *testing.T) {
+	fakes, nodes := fleet(4)
+	r, _ := New(Affinity, nodes)
+	stmts := []string{
+		"SELECT * FROM dim_customer WHERE dim_customer.customer_id = 1",
+		"SELECT * FROM dim_product WHERE dim_product.product_id = 37",
+		"SELECT * FROM dim_customer WHERE dim_customer.customer_id = 202",
+	}
+	homes := make([]int, len(stmts))
+	for si, sql := range stmts {
+		want := int(sqlparser.Hash64(sqlparser.Fingerprint(sql)) % uint64(len(nodes)))
+		homes[si] = want
+		before := len(fakes[want].submitted)
+		for i := 0; i < 3; i++ {
+			r.Submit(nil, sql)
+		}
+		if got := len(fakes[want].submitted) - before; got != 3 {
+			t.Errorf("statement %d: home node %d got %d of 3 submissions", si, want, got)
+		}
+	}
+
+	// A down home falls through to the next live node, and comes back
+	// after restart.
+	home := homes[0]
+	fakes[home].down = true
+	r.Submit(nil, stmts[0])
+	fallback := (home + 1) % len(nodes)
+	if len(fakes[fallback].submitted) == 0 {
+		t.Fatal("affinity did not fall through past the down home")
+	}
+	fakes[home].down = false
+	before := len(fakes[home].submitted)
+	r.Submit(nil, stmts[0])
+	if len(fakes[home].submitted) != before+1 {
+		t.Fatal("affinity did not return to the restarted home")
+	}
+}
+
+func TestRoutedCountersAndReport(t *testing.T) {
+	_, nodes := fleet(2)
+	r, _ := New(RoundRobin, nodes)
+	for i := 0; i < 5; i++ {
+		r.Submit(nil, "q")
+	}
+	if r.Len() != 2 || r.Policy() != RoundRobin {
+		t.Fatal("accessors broken")
+	}
+	if r.Routed(0)+r.Routed(1) != 5 {
+		t.Fatalf("routed counters sum to %d, want 5", r.Routed(0)+r.Routed(1))
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "policy=round-robin") || !strings.Contains(rep, "node 1") {
+		t.Fatalf("report missing fields:\n%s", rep)
+	}
+}

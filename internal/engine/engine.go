@@ -1056,6 +1056,10 @@ func (s *Server) Broker() *broker.Broker { return s.brk }
 // Governor returns the compilation governor.
 func (s *Server) Governor() *core.Governor { return s.gov }
 
+// ActiveCompiles returns the in-flight compilation count — the load
+// signal a cluster router balances on.
+func (s *Server) ActiveCompiles() int { return s.gov.Active() }
+
 // BufferPool returns the buffer pool.
 func (s *Server) BufferPool() *bufferpool.Pool { return s.pool }
 

@@ -63,6 +63,10 @@ func (k Kind) String() string {
 // virtual-time axis; the remaining fields are kind-specific.
 type Injection struct {
 	Kind Kind
+	// Node targets one engine instance of a cluster run (0, the
+	// default, is the first node — and the only one in a single-server
+	// run). The harness validates Node against the run's node count.
+	Node int
 	// At is the onset virtual time.
 	At time.Duration
 	// Duration is how long the fault stays active (DiskStall, MemLeak)
@@ -111,6 +115,9 @@ func (p *Plan) Validate() error {
 		if in.At < 0 || in.Duration < 0 || in.Interval < 0 {
 			return fmt.Errorf("fault: injection %d (%s): negative time", i, in.Kind)
 		}
+		if in.Node < 0 {
+			return fmt.Errorf("fault: injection %d (%s): negative node %d", i, in.Kind, in.Node)
+		}
 		switch in.Kind {
 		case DiskStall:
 			if in.Factor <= 1 {
@@ -134,10 +141,12 @@ func (p *Plan) Validate() error {
 		default:
 			return fmt.Errorf("fault: injection %d: unknown kind %d", i, in.Kind)
 		}
-		// Same-kind overlap would make clears ambiguous (whose stall
-		// factor wins? whose ballast drops?); forbid it outright.
+		// Same-kind overlap on the same node would make clears ambiguous
+		// (whose stall factor wins? whose ballast drops?); forbid it
+		// outright. Different nodes are independent machines, so
+		// correlated cross-node faults may overlap freely.
 		for j, other := range p.Injections[:i] {
-			if other.Kind != in.Kind {
+			if other.Kind != in.Kind || other.Node != in.Node {
 				continue
 			}
 			if in.At < other.clear() && other.At < in.clear() {
@@ -177,8 +186,24 @@ func (p *Plan) LastClear() time.Duration {
 	return last
 }
 
+// MaxNode returns the highest node index any injection targets (0 for
+// an empty plan) — the harness checks it against the run's node count.
+func (p *Plan) MaxNode() int {
+	max := 0
+	if p == nil {
+		return 0
+	}
+	for _, in := range p.Injections {
+		if in.Node > max {
+			max = in.Node
+		}
+	}
+	return max
+}
+
 // String renders the injected schedule, one line per injection — the
-// cmd/figures -faultplan dump.
+// cmd/figures -faultplan dump. Node is printed only when targeted
+// explicitly, so single-server schedules render as before.
 func (p *Plan) String() string {
 	if p.Empty() {
 		return "fault plan: empty\n"
@@ -187,6 +212,9 @@ func (p *Plan) String() string {
 	fmt.Fprintf(&sb, "fault plan (seed %d): %d injections\n", p.Seed, len(p.Injections))
 	for _, in := range p.Injections {
 		fmt.Fprintf(&sb, "  t=%-7s %-13s", fmtDur(in.At), in.Kind)
+		if in.Node > 0 {
+			fmt.Fprintf(&sb, " node=%d", in.Node)
+		}
 		switch in.Kind {
 		case DiskStall:
 			fmt.Fprintf(&sb, " x%.1f for %s", in.Factor, fmtDur(in.Duration))
@@ -254,11 +282,22 @@ type Stats struct {
 const defaultLeakInterval = 10 * time.Second
 
 // Inject schedules the plan's injections on sched as ordinary tasks and
-// returns the stats structure they fill in. The plan must be valid.
+// returns the stats structure they fill in. The plan must be valid and
+// single-node (every injection targeting node 0).
 func Inject(sched *vtime.Scheduler, p Plan, s Surface) *Stats {
+	return InjectCluster(sched, p, []Surface{s})
+}
+
+// InjectCluster is Inject over a fleet: injection i drives
+// surfaces[p.Injections[i].Node], so a plan can stall one node's disk
+// while storming another. The caller must validate the plan and ensure
+// every targeted node index is in range (the harness checks MaxNode
+// against the node count); out-of-range targets panic.
+func InjectCluster(sched *vtime.Scheduler, p Plan, surfaces []Surface) *Stats {
 	st := &Stats{}
 	for i := range p.Injections {
 		in := p.Injections[i]
+		s := surfaces[in.Node]
 		switch in.Kind {
 		case DiskStall:
 			sched.Go("fault-diskstall", func(t *vtime.Task) {

@@ -212,3 +212,88 @@ func TestInjectDefaults(t *testing.T) {
 		t.Errorf("storm = %d/%d", st.StormSubmitted, st.StormFailed)
 	}
 }
+
+func TestValidateNodeTargets(t *testing.T) {
+	cases := []struct {
+		name string
+		inj  []Injection
+		ok   bool
+	}{
+		{"negative-node", []Injection{
+			{Kind: DiskStall, At: 1, Duration: time.Minute, Factor: 4, Node: -1},
+		}, false},
+		{"same-kind-same-node-overlap", []Injection{
+			{Kind: CrashRestart, At: 0, Duration: 2 * time.Minute, Node: 1},
+			{Kind: CrashRestart, At: time.Minute, Duration: time.Minute, Node: 1},
+		}, false},
+		// The same fault overlapping on *different* nodes is a legitimate
+		// correlated-failure schedule.
+		{"same-kind-cross-node-overlap-ok", []Injection{
+			{Kind: CrashRestart, At: 0, Duration: 2 * time.Minute, Node: 0},
+			{Kind: CrashRestart, At: time.Minute, Duration: time.Minute, Node: 1},
+		}, true},
+	}
+	for _, tc := range cases {
+		p := Plan{Injections: tc.inj}
+		if err := p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestMaxNode(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.MaxNode() != 0 {
+		t.Fatalf("nil plan MaxNode = %d", nilPlan.MaxNode())
+	}
+	p := &Plan{Injections: []Injection{
+		{Kind: DiskStall, At: 1, Duration: time.Minute, Factor: 4},
+		{Kind: CrashRestart, At: 1, Duration: time.Minute, Node: 2},
+	}}
+	if p.MaxNode() != 2 {
+		t.Fatalf("MaxNode = %d, want 2", p.MaxNode())
+	}
+}
+
+func TestPlanStringNodeTargets(t *testing.T) {
+	// Untargeted injections render exactly as before; explicit targets
+	// carry a node marker.
+	p := Plan{Injections: []Injection{
+		{Kind: DiskStall, At: time.Minute, Duration: time.Minute, Factor: 4},
+		{Kind: CrashRestart, At: 5 * time.Minute, Duration: time.Minute, Node: 2},
+	}}
+	s := p.String()
+	if strings.Contains(s, "node=0") {
+		t.Errorf("untargeted injection renders a node marker:\n%s", s)
+	}
+	if !strings.Contains(s, "node=2") {
+		t.Errorf("targeted injection missing node marker:\n%s", s)
+	}
+}
+
+func TestInjectCluster(t *testing.T) {
+	sched := vtime.NewScheduler()
+	surfaces := []*recordingSurface{{sched: sched}, {sched: sched}}
+	p := Plan{Injections: []Injection{
+		{Kind: DiskStall, At: time.Minute, Duration: time.Minute, Factor: 5, Node: 1},
+		{Kind: CrashRestart, At: 2 * time.Minute, Duration: time.Minute, Node: 0},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := InjectCluster(sched, p, []Surface{surfaces[0].surface(), surfaces[1].surface()})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Injected != 2 || st.Crashes != 1 || st.StallTime != time.Minute {
+		t.Errorf("stats = %+v", st)
+	}
+	want0 := []string{"2m0s crash", "3m0s restart"}
+	want1 := []string{"1m0s stall=5", "2m0s stall=1"}
+	if got := fmt.Sprint(surfaces[0].events); got != fmt.Sprint(want0) {
+		t.Errorf("node 0 events:\ngot:  %v\nwant: %v", surfaces[0].events, want0)
+	}
+	if got := fmt.Sprint(surfaces[1].events); got != fmt.Sprint(want1) {
+		t.Errorf("node 1 events:\ngot:  %v\nwant: %v", surfaces[1].events, want1)
+	}
+}

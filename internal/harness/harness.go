@@ -7,10 +7,12 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
 
+	"compilegate/internal/cluster"
 	"compilegate/internal/engine"
 	"compilegate/internal/fault"
 	"compilegate/internal/metrics"
@@ -53,6 +55,15 @@ type Options struct {
 	// produce byte-identical results with shared, private, or absent
 	// snapshots; the field exists for tests proving exactly that.
 	Snapshot *Snapshot
+	// Nodes runs the experiment as a cluster: that many independent
+	// engine instances (each with its own budget, governor, plan cache,
+	// and buffer pool) share one scheduler and one snapshot behind a
+	// deterministic router. 0 and 1 both mean the classic single-server
+	// run.
+	Nodes int
+	// Router picks the cluster routing policy (zero value:
+	// round-robin). Ignored when Nodes <= 1.
+	Router cluster.Policy
 }
 
 // DefaultOptions returns the SALES configuration at the given client
@@ -84,8 +95,13 @@ type Result struct {
 	Load workload.LoadStats
 	// CompileMemMean/Max profile per-query compile memory.
 	CompileMemMean, CompileMemMax int64
-	// BufferPoolHitRate is the end-of-run hit rate.
+	// BufferPoolHitRate is the end-of-run hit rate (cluster runs:
+	// pooled over nodes as Σhits / Σ(hits+misses)).
 	BufferPoolHitRate float64
+	// PlanCacheHitRate is the end-of-run plan-cache hit rate, pooled
+	// the same way for cluster runs — the fingerprint-affinity routing
+	// claim reads this.
+	PlanCacheHitRate float64
 	// GatewayTimeouts / BestEffortPlans count throttling outcomes.
 	GatewayTimeouts uint64
 	BestEffortPlans uint64
@@ -115,8 +131,33 @@ type Result struct {
 	// of the first recovered slice — the graceful-degradation metric.
 	Recovered    bool
 	RecoveryTime time.Duration
-	// Report is the engine's diagnostic dump.
+	// Report is the engine's diagnostic dump (cluster runs: the router
+	// distribution followed by every node's dump).
 	Report string
+	// NodeResults is the per-node breakdown of a cluster run, in node
+	// order; nil for single-server runs.
+	NodeResults []NodeResult
+}
+
+// NodeResult is one cluster node's share of a run.
+type NodeResult struct {
+	// Node is the index in router order (fixed at construction).
+	Node int
+	// Routed counts submissions the router forwarded here.
+	Routed uint64
+	// Completed/Errors are the node's totals inside the measurement
+	// window.
+	Completed int64
+	Errors    int64
+	// PlanCacheHits/Misses/HitRate are the node's plan-cache counters —
+	// affinity routing shows up as a higher per-node hit rate.
+	PlanCacheHits, PlanCacheMisses uint64
+	PlanCacheHitRate               float64
+	// BestEffortPlans / GatewayTimeouts count the node's throttling
+	// outcomes; Crashes counts fault-plane crash onsets on this node.
+	BestEffortPlans uint64
+	GatewayTimeouts uint64
+	Crashes         uint64
 }
 
 // traceWindowAvg averages trace samples with T in [from, to).
@@ -177,6 +218,16 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 		if lc := o.Fault.LastClear(); lc > o.Horizon {
 			return nil, fmt.Errorf("harness: fault plan clears at %v, past horizon %v", lc, o.Horizon)
 		}
+		nodes := o.Nodes
+		if nodes < 1 {
+			nodes = 1
+		}
+		if mx := o.Fault.MaxNode(); mx >= nodes {
+			return nil, fmt.Errorf("harness: fault plan targets node %d of a %d-node run", mx, nodes)
+		}
+	}
+	if o.Nodes > 1 && !o.Router.Valid() {
+		return nil, fmt.Errorf("harness: unknown router policy %q", string(o.Router))
 	}
 
 	var ecfg engine.Config
@@ -202,10 +253,6 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	if sched == nil {
 		sched = vtime.NewScheduler()
 	}
-	srv, err := engine.NewShared(ecfg, snap.Catalog, snap.prebuilt(), sched)
-	if err != nil {
-		return nil, err
-	}
 
 	var lcfg workload.LoadConfig
 	if o.Load != nil {
@@ -217,6 +264,15 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	lcfg.Horizon = o.Horizon
 	lcfg.Seed = o.Seed
 
+	if o.Nodes > 1 {
+		return runCluster(sched, o, ecfg, snap, lcfg)
+	}
+
+	srv, err := engine.NewShared(ecfg, snap.Catalog, snap.prebuilt(), sched)
+	if err != nil {
+		return nil, err
+	}
+
 	gen := o.Workload.Generator()
 	loadStats := workload.Run(sched, srv, gen, lcfg, srv.Close)
 
@@ -225,23 +281,9 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	// of the options.
 	var faultStats *fault.Stats
 	if injecting {
-		heavy := gen.Next
-		if hg, ok := gen.(interface {
-			NextHeavy(*rand.Rand) string
-		}); ok {
-			heavy = hg.NextHeavy
-		}
+		heavy := heavyFor(gen)
 		stormRNG := rand.New(rand.NewSource(o.Fault.Seed))
-		faultStats = fault.Inject(sched, *o.Fault, fault.Surface{
-			SetDiskStall: srv.SetDiskFault,
-			Leak:         srv.LeakBallast,
-			DropLeak:     srv.DropBallast,
-			Crash:        srv.Crash,
-			Restart:      srv.Restart,
-			StormQuery: func(t *vtime.Task) error {
-				return srv.Submit(t, heavy(stormRNG))
-			},
-		})
+		faultStats = fault.Inject(sched, *o.Fault, surfaceFor(srv, heavy, stormRNG))
 	}
 
 	if err := sched.Run(); err != nil {
@@ -263,6 +305,7 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 		CompileMemMean:    meanMem,
 		CompileMemMax:     maxMem,
 		BufferPoolHitRate: srv.BufferPool().HitRate(),
+		PlanCacheHitRate:  srv.PlanCache().HitRate(),
 		BestEffortPlans:   srv.Governor().BestEffortCount(),
 		CompileP50:        srv.CompileTimes().Quantile(0.5),
 		CompileP90:        srv.CompileTimes().Quantile(0.9),
@@ -282,19 +325,47 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	}
 	if faultStats != nil {
 		res.Fault = faultStats
-		measureRecovery(res, rec, o)
+		measureRecovery(res, rec.CompletionSeries(0, o.Horizon), rec.SliceDur(), o)
 	}
 	return res, nil
+}
+
+// heavyFor resolves the generator's compile-storm query source: the
+// dedicated heavy-template draw when the generator has one, the plain
+// draw otherwise.
+func heavyFor(gen workload.Generator) func(*rand.Rand) string {
+	if hg, ok := gen.(interface {
+		NextHeavy(*rand.Rand) string
+	}); ok {
+		return hg.NextHeavy
+	}
+	return gen.Next
+}
+
+// surfaceFor wires one server's fault-plane hooks. Storm queries go to
+// the server directly (not through a router): the injection targets
+// that node.
+func surfaceFor(srv *engine.Server, heavy func(*rand.Rand) string, stormRNG *rand.Rand) fault.Surface {
+	return fault.Surface{
+		SetDiskStall: srv.SetDiskFault,
+		Leak:         srv.LeakBallast,
+		DropLeak:     srv.DropBallast,
+		Crash:        srv.Crash,
+		Restart:      srv.Restart,
+		StormQuery: func(t *vtime.Task) error {
+			return srv.Submit(t, heavy(stormRNG))
+		},
+	}
 }
 
 // measureRecovery computes the graceful-degradation metric: pre-fault
 // throughput as the mean over full slices before the first injection
 // (slice 0 excluded — it is ramp-up), then the first slice at or after
 // the last clear whose completions are back within 10% of that mean.
-func measureRecovery(res *Result, rec *metrics.Recorder, o Options) {
+// The series is the run's full completion series (cluster runs pass
+// the node sum).
+func measureRecovery(res *Result, series []metrics.Point, sliceDur time.Duration, o Options) {
 	onset, clear := o.Fault.FirstOnset(), o.Fault.LastClear()
-	series := rec.CompletionSeries(0, o.Horizon)
-	sliceDur := rec.SliceDur()
 	var sum, n int64
 	for _, p := range series {
 		if p.T > 0 && p.T+sliceDur <= onset {
@@ -309,6 +380,13 @@ func measureRecovery(res *Result, rec *metrics.Recorder, o Options) {
 	res.PreFaultThroughput = pre
 	for _, p := range series {
 		if p.T < clear {
+			continue
+		}
+		// Only full slices count, matching the pre-fault mean: when the
+		// horizon is not a multiple of the slice width, the truncated
+		// final slice holds a fraction of a slice's completions and must
+		// not decide recovery off a short sample.
+		if p.T+sliceDur > o.Horizon {
 			continue
 		}
 		if float64(p.V) >= 0.9*pre {
@@ -329,15 +407,27 @@ func SeriesString(points []metrics.Point) string {
 }
 
 // Compare renders the throttled-vs-unthrottled comparison the paper's
-// figures make, returning the improvement ratio.
+// figures make, returning the improvement ratio. A starved baseline
+// (zero completions) has no finite ratio: the ratio is +Inf when the
+// throttled run completed anything and NaN when both completed
+// nothing, and the summary says so instead of printing the
+// improvement as -100%.
 func Compare(throttled, baseline *Result) (ratio float64, summary string) {
-	if baseline.Completed > 0 {
+	improvement := "undefined (both runs completed 0)"
+	switch {
+	case baseline.Completed > 0:
 		ratio = float64(throttled.Completed) / float64(baseline.Completed)
+		improvement = fmt.Sprintf("%.1f%%", (ratio-1)*100)
+	case throttled.Completed > 0:
+		ratio = math.Inf(1)
+		improvement = "+inf (baseline completed 0)"
+	default:
+		ratio = math.NaN()
 	}
 	summary = fmt.Sprintf(
-		"clients=%d window=[%v,%v): throttled=%d baseline=%d improvement=%.1f%% errors(throttled)=%d errors(baseline)=%d",
+		"clients=%d window=[%v,%v): throttled=%d baseline=%d improvement=%s errors(throttled)=%d errors(baseline)=%d",
 		throttled.Options.Clients, throttled.Options.Warmup, throttled.Options.Horizon,
-		throttled.Completed, baseline.Completed, (ratio-1)*100,
+		throttled.Completed, baseline.Completed, improvement,
 		throttled.Errors, baseline.Errors)
 	return ratio, summary
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -134,10 +135,57 @@ func TestCompareAndSeriesString(t *testing.T) {
 }
 
 func TestCompareZeroBaseline(t *testing.T) {
-	th := &Result{Options: DefaultOptions(30), Completed: 10}
-	ba := &Result{Options: DefaultOptions(30), Completed: 0}
-	ratio, _ := Compare(th, ba)
-	if ratio != 0 {
-		t.Fatalf("ratio with zero baseline = %v", ratio)
+	cases := []struct {
+		name                string
+		throttled, baseline int64
+		wantInf, wantNaN    bool
+		wantRatio           float64
+		wantSummary, banned string
+	}{
+		{
+			name: "finite", throttled: 135, baseline: 100,
+			wantRatio: 1.35, wantSummary: "35.0%",
+		},
+		{
+			// The old code left ratio=0 here and printed the improvement
+			// as -100.0%, reading a starved baseline as a regression.
+			name: "zero baseline", throttled: 10, baseline: 0,
+			wantInf: true, wantSummary: "baseline completed 0", banned: "-100.0%",
+		},
+		{
+			name: "both zero", throttled: 0, baseline: 0,
+			wantNaN: true, wantSummary: "undefined", banned: "-100.0%",
+		},
+		{
+			name: "throttled zero", throttled: 0, baseline: 50,
+			wantRatio: 0, wantSummary: "-100.0%",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			th := &Result{Options: DefaultOptions(30), Completed: tc.throttled}
+			ba := &Result{Options: DefaultOptions(30), Completed: tc.baseline}
+			ratio, summary := Compare(th, ba)
+			switch {
+			case tc.wantInf:
+				if !math.IsInf(ratio, 1) {
+					t.Fatalf("ratio = %v, want +Inf", ratio)
+				}
+			case tc.wantNaN:
+				if !math.IsNaN(ratio) {
+					t.Fatalf("ratio = %v, want NaN", ratio)
+				}
+			default:
+				if ratio != tc.wantRatio {
+					t.Fatalf("ratio = %v, want %v", ratio, tc.wantRatio)
+				}
+			}
+			if !strings.Contains(summary, tc.wantSummary) {
+				t.Fatalf("summary %q missing %q", summary, tc.wantSummary)
+			}
+			if tc.banned != "" && strings.Contains(summary, tc.banned) {
+				t.Fatalf("summary %q still renders %q", summary, tc.banned)
+			}
+		})
 	}
 }

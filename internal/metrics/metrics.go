@@ -260,6 +260,65 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// Merge folds other's observations into h. Both histograms must share
+// the same bucket bounds; Merge panics otherwise — merging histograms
+// of different shapes silently misbuckets counts.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.bounds) != len(other.bounds) {
+		panic("metrics: merging histograms with different bucket counts")
+	}
+	for i, b := range h.bounds {
+		if b != other.bounds[i] {
+			panic("metrics: merging histograms with different bounds")
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// MergedHistogram returns a fresh histogram combining every input —
+// cluster results aggregate per-node latency profiles with it. All
+// inputs must share bucket bounds (they do when they come from
+// identically configured servers); at least one input is required.
+func MergedHistogram(hs ...*Histogram) *Histogram {
+	if len(hs) == 0 {
+		panic("metrics: merging zero histograms")
+	}
+	out := NewHistogram(hs[0].bounds...)
+	for _, h := range hs {
+		out.Merge(h)
+	}
+	return out
+}
+
+// SumSeries merges per-node completion series into one cluster-level
+// series: points are summed per slice start and returned in time
+// order. Inputs must be individually time-ordered (CompletionSeries
+// output is).
+func SumSeries(series ...[]Point) []Point {
+	sums := make(map[time.Duration]int64)
+	for _, s := range series {
+		for _, p := range s {
+			sums[p.T] += p.V
+		}
+	}
+	out := make([]Point, 0, len(sums))
+	for t, v := range sums {
+		out = append(out, Point{T: t, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // String renders the histogram compactly for reports.
 func (h *Histogram) String() string {
 	var sb strings.Builder

@@ -242,3 +242,82 @@ func TestCounterGaugeRoundTrip(t *testing.T) {
 		t.Fatalf("Max = %d", tr.Max())
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(time.Second, 10*time.Second)
+	b := NewHistogram(time.Second, 10*time.Second)
+	a.Observe(500 * time.Millisecond)
+	a.Observe(5 * time.Second)
+	b.Observe(5 * time.Second)
+	b.Observe(time.Minute)
+	a.Merge(b)
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	if a.Max() != time.Minute {
+		t.Fatalf("merged max = %v, want 1m", a.Max())
+	}
+	if q := a.Quantile(0.5); q != 10*time.Second {
+		t.Fatalf("merged p50 = %v, want 10s bucket bound", q)
+	}
+}
+
+func TestMergedHistogramMatchesSingle(t *testing.T) {
+	// Observations split across nodes must merge to the same profile as
+	// one histogram seeing them all.
+	parts := []*Histogram{
+		NewHistogram(time.Second, 10*time.Second),
+		NewHistogram(time.Second, 10*time.Second),
+		NewHistogram(time.Second, 10*time.Second),
+	}
+	whole := NewHistogram(time.Second, 10*time.Second)
+	for i := 0; i < 30; i++ {
+		d := time.Duration(i) * 700 * time.Millisecond
+		parts[i%3].Observe(d)
+		whole.Observe(d)
+	}
+	m := MergedHistogram(parts...)
+	if m.Count() != whole.Count() || m.Max() != whole.Max() || m.Mean() != whole.Mean() {
+		t.Fatalf("merged %d/%v/%v, whole %d/%v/%v",
+			m.Count(), m.Max(), m.Mean(), whole.Count(), whole.Max(), whole.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 1.0} {
+		if m.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%g: merged %v, whole %v", q, m.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging must not mutate the inputs' identity: parts[0] keeps its own
+	// count.
+	if parts[0].Count() != 10 {
+		t.Fatalf("input histogram mutated: count = %d", parts[0].Count())
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging differently-bucketed histograms did not panic")
+		}
+	}()
+	a := NewHistogram(time.Second)
+	b := NewHistogram(2 * time.Second)
+	a.Merge(b)
+}
+
+func TestSumSeries(t *testing.T) {
+	a := []Point{{T: 0, V: 1}, {T: time.Minute, V: 2}}
+	b := []Point{{T: time.Minute, V: 3}, {T: 2 * time.Minute, V: 4}}
+	got := SumSeries(a, b)
+	want := []Point{{T: 0, V: 1}, {T: time.Minute, V: 5}, {T: 2 * time.Minute, V: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("SumSeries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SumSeries[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if SumSeries() != nil || SumSeries(nil, nil) != nil {
+		t.Fatal("empty inputs should sum to nil")
+	}
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"time"
+
+	"compilegate/internal/cluster"
+	"compilegate/internal/fault"
+	"compilegate/internal/workload"
+)
+
+// This file registers the cluster-plane scenarios: N engine instances
+// on one event loop behind a deterministic router. They exercise the
+// three routing policies — even spreading at a four-digit client
+// population, fingerprint affinity on a wide statement pool (the
+// plan-cache locality experiment), and least-loaded routing through a
+// scripted node loss.
+
+func init() {
+	// The scale probe: a 1000-client population spread round-robin over
+	// four nodes. The point is the population itself — the router, the
+	// per-node recorders, and the aggregation have to stay deterministic
+	// and even-handed at four digits of concurrent clients.
+	rr := Scenario{
+		Name:        "cluster-roundrobin",
+		Description: "1000 OLTP clients round-robin over 4 nodes — even spread at scale",
+		Clients:     1000,
+		Scale:       0.04,
+		Workload:    workload.SpecOLTP,
+		Horizon:     15 * time.Minute,
+		Warmup:      5 * time.Minute,
+		Throttled:   true,
+		Seed:        1,
+		Nodes:       4,
+		Router:      cluster.RoundRobin,
+		Load: func(l *workload.LoadConfig) {
+			l.ThinkTime = 15 * time.Second
+		},
+	}
+	Default.MustRegister(rr)
+
+	// The locality experiment: a 2000-statement point-query pool over
+	// four nodes. Round-robin pays the pool's cold-compilation bill on
+	// every node; fingerprint affinity pays it once across the fleet, so
+	// its pooled plan-cache hit rate is measurably higher. The claim test
+	// replicates this scenario against its round-robin twin per seed.
+	aff := Scenario{
+		Name:        "cluster-affinity",
+		Description: "wide OLTP pool, fingerprint-affinity routing over 4 nodes — plan-cache locality",
+		Clients:     120,
+		Scale:       0.04,
+		Workload:    workload.SpecOLTPWide,
+		Horizon:     30 * time.Minute,
+		Warmup:      10 * time.Minute,
+		Throttled:   true,
+		Seed:        1,
+		Nodes:       4,
+		Router:      cluster.Affinity,
+		Load: func(l *workload.LoadConfig) {
+			l.ThinkTime = 5 * time.Second
+		},
+	}
+	Default.MustRegister(aff)
+
+	// The degradation experiment: least-loaded routing through a scripted
+	// loss of node 1. While the node is down the router carries its share
+	// on the survivors and clients retry lost in-flight work with backoff;
+	// recovery is measured on the cluster-level completion sum.
+	loss := Scenario{
+		Name:        "cluster-nodeloss",
+		Description: "mixed workload on 3 nodes, least-loaded routing, node 1 lost for 6 min",
+		Clients:     36,
+		Scale:       0.04,
+		Workload:    workload.SpecMix,
+		Horizon:     70 * time.Minute,
+		Warmup:      10 * time.Minute,
+		Throttled:   true,
+		Seed:        1,
+		Nodes:       3,
+		Router:      cluster.LeastLoaded,
+		Load: func(l *workload.LoadConfig) {
+			retryDriver(l)
+			l.ThinkTime = 5 * time.Second
+		},
+		Fault: &fault.Plan{Seed: 105, Injections: []fault.Injection{
+			{Kind: fault.CrashRestart, Node: 1, At: 40 * time.Minute, Duration: 6 * time.Minute},
+		}},
+	}
+	Default.MustRegister(loss)
+}

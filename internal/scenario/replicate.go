@@ -172,6 +172,10 @@ var (
 	}}
 	// MetricRetries counts client-side resubmissions over the run.
 	MetricRetries = Metric{"retries", func(r SeedRun) float64 { return float64(r.Result.Load.Retries) }}
+	// MetricPlanCacheHitRate is the end-of-run plan-cache hit rate,
+	// pooled across nodes on cluster runs — the routing-locality claim
+	// compares it between affinity and round-robin twins.
+	MetricPlanCacheHitRate = Metric{"plan-hit-rate", func(r SeedRun) float64 { return r.Result.PlanCacheHitRate }}
 )
 
 // Samples extracts m across the seeds, in seed order.

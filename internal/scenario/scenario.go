@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"compilegate/internal/cluster"
 	"compilegate/internal/engine"
 	"compilegate/internal/fault"
 	"compilegate/internal/harness"
@@ -55,6 +56,14 @@ type Scenario struct {
 	// Fault, when non-nil, is the scripted failure plan injected into the
 	// run (shared read-only across sweep runs of the scenario).
 	Fault *fault.Plan
+
+	// Nodes runs the experiment as a cluster of that many independent
+	// engine instances behind a deterministic router (0 and 1 both mean
+	// the classic single server).
+	Nodes int
+	// Router is the cluster routing policy (zero value: round-robin).
+	// Ignored when Nodes <= 1.
+	Router cluster.Policy
 }
 
 // Validate reports whether the scenario describes a runnable experiment.
@@ -74,9 +83,22 @@ func (s Scenario) Validate() error {
 	if s.Horizon <= 0 || s.Warmup < 0 || s.Warmup >= s.Horizon {
 		return fmt.Errorf("scenario %s: window [%v, %v)", s.Name, s.Warmup, s.Horizon)
 	}
+	if s.Nodes < 0 {
+		return fmt.Errorf("scenario %s: nodes = %d", s.Name, s.Nodes)
+	}
+	if s.Nodes > 1 && !s.Router.Valid() {
+		return fmt.Errorf("scenario %s: unknown router policy %q", s.Name, string(s.Router))
+	}
 	if s.Fault != nil {
 		if err := s.Fault.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		nodes := s.Nodes
+		if nodes < 1 {
+			nodes = 1
+		}
+		if mx := s.Fault.MaxNode(); mx >= nodes {
+			return fmt.Errorf("scenario %s: fault plan targets node %d of a %d-node run", s.Name, mx, nodes)
 		}
 	}
 	return nil
@@ -95,6 +117,8 @@ func (s Scenario) Options() harness.Options {
 		Workload:  s.Workload,
 		Seed:      s.Seed,
 		Fault:     s.Fault,
+		Nodes:     s.Nodes,
+		Router:    s.Router,
 	}
 	if s.Engine != nil {
 		cfg := engine.DefaultConfig()

@@ -127,7 +127,7 @@ func TestDerivations(t *testing.T) {
 func sweepSet(t *testing.T) []Scenario {
 	t.Helper()
 	var out []Scenario
-	for _, name := range []string{"quickstart", "figure2", "oltp-mix", "adhoc-dss"} {
+	for _, name := range []string{"quickstart", "figure2", "oltp-mix", "adhoc-dss", "cluster-roundrobin"} {
 		s, ok := Get(name)
 		if !ok {
 			t.Fatalf("scenario %s not registered", name)
@@ -215,6 +215,21 @@ func TestSweepWorkerCountInvariance(t *testing.T) {
 	for i := range repOne.Runs {
 		if !reflect.DeepEqual(repOne.Runs[i], repMany.Runs[i]) {
 			t.Errorf("replication seed %d differs between workers=1 and workers=N", repOne.Runs[i].Seed)
+		}
+	}
+	// Cluster pass: the affinity fleet's per-seed results must be
+	// worker-count invariant as well.
+	clOne, err := Replication{Scenario: MustGet(t, "cluster-affinity"), Seeds: Seeds(2), Workers: 1}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clMany, err := Replication{Scenario: MustGet(t, "cluster-affinity"), Seeds: Seeds(2), Workers: 0}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clOne.Runs {
+		if !reflect.DeepEqual(clOne.Runs[i], clMany.Runs[i]) {
+			t.Errorf("cluster replication seed %d differs between workers=1 and workers=N", clOne.Runs[i].Seed)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
@@ -89,8 +90,14 @@ func backoffFor(cfg *LoadConfig, rng *rand.Rand, attempt int) time.Duration {
 	if cfg.BackoffBase <= 0 {
 		return cfg.RetryBackoff
 	}
-	d := cfg.BackoffBase << uint(attempt-1)
-	if d <= 0 { // shift overflow on an absurd attempt count
+	d := cfg.BackoffBase
+	if shift := uint(attempt - 1); shift < 63 && d <= math.MaxInt64>>shift {
+		d <<= shift
+	} else {
+		// The shift would overflow. A wrapped value can come out as a
+		// small *positive* duration, so the overflow must be caught
+		// before shifting rather than by sign-checking the result; pin
+		// to the cap (or the base when uncapped).
 		d = cfg.BackoffCap
 		if d <= 0 {
 			d = cfg.BackoffBase

@@ -28,6 +28,11 @@ const (
 	// SpecOLTP is a point-query workload of repeated statements that hit
 	// the plan cache and bypass the monitor ladder.
 	SpecOLTP Spec = "oltp"
+	// SpecOLTPWide is SpecOLTP with a much wider closed statement set
+	// (WideStatementCount distinct texts): a statement population large
+	// enough that *where* a statement lands matters — the cluster
+	// affinity-routing experiments measure plan-cache hit rates on it.
+	SpecOLTPWide Spec = "oltp-wide"
 	// SpecMix interleaves OLTP and SALES 3:1 — the paper's
 	// "administrator can still run diagnostics under overload" setting.
 	SpecMix Spec = "mix"
@@ -40,7 +45,7 @@ func ParseSpec(s string) (Spec, error) {
 		return SpecSales, nil
 	}
 	if !sp.Valid() {
-		return "", fmt.Errorf("workload: unknown spec %q (want sales|tpch|oltp|mix)", s)
+		return "", fmt.Errorf("workload: unknown spec %q (want sales|tpch|oltp|oltp-wide|mix)", s)
 	}
 	return sp, nil
 }
@@ -49,7 +54,7 @@ func ParseSpec(s string) (Spec, error) {
 // is valid and means SpecSales, so zero-valued options keep working.
 func (sp Spec) Valid() bool {
 	switch sp {
-	case "", SpecSales, SpecTPCH, SpecOLTP, SpecMix:
+	case "", SpecSales, SpecTPCH, SpecOLTP, SpecOLTPWide, SpecMix:
 		return true
 	}
 	return false
@@ -72,6 +77,8 @@ func (sp Spec) Generator() Generator {
 		return NewTPCH()
 	case SpecOLTP:
 		return NewOLTP()
+	case SpecOLTPWide:
+		return NewOLTPWide()
 	case SpecMix:
 		return NewMix([]Generator{NewSales(), NewOLTP()}, []int{1, 3})
 	default:
@@ -100,6 +107,8 @@ func (sp Spec) StaticStatements() []string {
 	switch sp.orDefault() {
 	case SpecOLTP, SpecMix:
 		return NewOLTP().Statements()
+	case SpecOLTPWide:
+		return NewOLTPWide().Statements()
 	default:
 		return nil
 	}

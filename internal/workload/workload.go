@@ -470,6 +470,15 @@ type OLTP struct {
 // NewOLTP builds the generator with 50 distinct statements.
 func NewOLTP() *OLTP { return &OLTP{DistinctStatements: 50} }
 
+// WideStatementCount is the oltp-wide statement-pool size: wide enough
+// that one node cannot see every statement often, so routing placement
+// decides plan-cache warmth.
+const WideStatementCount = 2000
+
+// NewOLTPWide builds the wide-pool generator the cluster affinity
+// experiments run.
+func NewOLTPWide() *OLTP { return &OLTP{DistinctStatements: WideStatementCount} }
+
 // Name implements Generator.
 func (g *OLTP) Name() string { return "oltp" }
 

@@ -235,3 +235,89 @@ func TestLoadHorizonStopsClients(t *testing.T) {
 		t.Fatalf("clients ran past horizon: %v", sched.Now())
 	}
 }
+
+func TestBackoffFor(t *testing.T) {
+	// rng is nil for every jitter-free case: the fixed path and the
+	// jitter-free exponential path must not draw from the client RNG, or
+	// they would shift every later query and break golden digests.
+	cases := []struct {
+		name    string
+		cfg     LoadConfig
+		attempt int
+		want    time.Duration
+	}{
+		{"legacy-fixed", LoadConfig{RetryBackoff: 5 * time.Second}, 1, 5 * time.Second},
+		{"legacy-fixed-late-attempt", LoadConfig{RetryBackoff: 5 * time.Second}, 50, 5 * time.Second},
+		{"exp-first", LoadConfig{BackoffBase: 500 * time.Millisecond}, 1, 500 * time.Millisecond},
+		{"exp-doubles", LoadConfig{BackoffBase: 500 * time.Millisecond}, 5, 8 * time.Second},
+		{"exp-capped", LoadConfig{BackoffBase: 500 * time.Millisecond, BackoffCap: 10 * time.Second}, 10, 10 * time.Second},
+		// Overflowing shifts must pin to the cap, never wrap. 500ms << 38
+		// wraps to a *positive* 8.3e18 ns (~263 years), which a sign check
+		// on the shifted result cannot catch — the overflow has to be
+		// detected before shifting.
+		{"overflow-wraps-positive", LoadConfig{BackoffBase: 500 * time.Millisecond, BackoffCap: 10 * time.Second}, 39, 10 * time.Second},
+		{"overflow-wraps-positive-uncapped", LoadConfig{BackoffBase: 500 * time.Millisecond}, 39, 500 * time.Millisecond},
+		{"overflow-huge-attempt", LoadConfig{BackoffBase: 500 * time.Millisecond, BackoffCap: 10 * time.Second}, 1000, 10 * time.Second},
+		{"overflow-uncapped-pins-to-base", LoadConfig{BackoffBase: 500 * time.Millisecond}, 1000, 500 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := backoffFor(&tc.cfg, nil, tc.attempt); got != tc.want {
+			t.Errorf("%s: backoffFor(attempt=%d) = %v, want %v", tc.name, tc.attempt, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffForNeverNegative(t *testing.T) {
+	// Sweep every attempt a run could plausibly reach (and far past):
+	// backoff must stay positive and respect the cap everywhere.
+	cfg := LoadConfig{BackoffBase: 500 * time.Millisecond, BackoffCap: 10 * time.Second}
+	for attempt := 1; attempt <= 200; attempt++ {
+		d := backoffFor(&cfg, nil, attempt)
+		if d <= 0 || d > cfg.BackoffCap {
+			t.Fatalf("attempt %d: backoff %v escapes (0, %v]", attempt, d, cfg.BackoffCap)
+		}
+	}
+}
+
+func TestBackoffForJitterBounds(t *testing.T) {
+	cfg := LoadConfig{BackoffBase: time.Second, BackoffCap: 10 * time.Second, BackoffJitter: 0.3}
+	rng := rand.New(rand.NewSource(7))
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := backoffFor(&cfg, rng, attempt)
+		base := time.Second << uint(attempt-1)
+		if attempt > 4 { // 16s > cap
+			base = cfg.BackoffCap
+		}
+		lo := time.Duration(float64(base) * 0.7)
+		hi := time.Duration(float64(base) * 1.3)
+		if d < lo || d >= hi {
+			t.Fatalf("attempt %d: jittered backoff %v outside [%v, %v)", attempt, d, lo, hi)
+		}
+	}
+}
+
+func TestOLTPWideSpec(t *testing.T) {
+	sp, err := ParseSpec("oltp-wide")
+	if err != nil || sp != SpecOLTPWide {
+		t.Fatalf("ParseSpec(oltp-wide) = %v, %v", sp, err)
+	}
+	stmts := SpecOLTPWide.StaticStatements()
+	if len(stmts) != WideStatementCount {
+		t.Fatalf("wide statement pool = %d, want %d", len(stmts), WideStatementCount)
+	}
+	seen := make(map[string]bool, len(stmts))
+	for _, s := range stmts {
+		seen[s] = true
+	}
+	if len(seen) != len(stmts) {
+		t.Fatalf("wide pool has %d distinct of %d statements", len(seen), len(stmts))
+	}
+	// The generator only ever draws from the closed pool.
+	gen := SpecOLTPWide.Generator()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		if q := gen.Next(rng); !seen[q] {
+			t.Fatalf("generator produced statement outside the closed pool: %q", q)
+		}
+	}
+}
