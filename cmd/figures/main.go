@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"compilegate"
@@ -79,6 +80,9 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("== Scenario %s: %s ==\n", s.Name, s.Description)
+		if !s.Fault.Empty() {
+			fmt.Printf("  fault plan:\n%s", indent(s.Fault.String(), "  "))
+		}
 		renderPair(runPair(shrink(s, *quick), *workers))
 		return
 	}
@@ -161,18 +165,54 @@ func renderPair(pair [2]compilegate.SweepResult) {
 }
 
 // renderNodes prints the per-node breakdown of a cluster run (no output
-// for single-server results).
+// for single-server results): the routing distribution, the router's
+// health actions (rerouted / failover / all-excluded counters), and —
+// when breakers are armed — each node's final breaker state, trip
+// count, and state-transition trail in virtual-time order.
 func renderNodes(r *compilegate.BenchmarkResult) {
 	if len(r.NodeResults) == 0 {
 		return
 	}
-	fmt.Printf("  per-node breakdown (%s router):\n", r.Options.Router)
-	fmt.Println("  node     routed  completed  errors  plan-hit  crashes")
-	for _, nr := range r.NodeResults {
-		fmt.Printf("  %4d  %9d  %9d  %6d  %8.4f  %7d\n",
-			nr.Node, nr.Routed, nr.Completed, nr.Errors, nr.PlanCacheHitRate, nr.Crashes)
+	breakers := r.NodeResults[0].BreakerState != ""
+	fmt.Printf("  per-node breakdown (%s router, rerouted=%d", r.Options.Router, r.Rerouted)
+	if breakers || r.Options.FailoverHops > 0 {
+		fmt.Printf(" resubmitted=%d all-excluded=%d", r.Resubmitted, r.RouterAllExcluded)
+	}
+	fmt.Println("):")
+	fmt.Print("  node     routed  completed  errors  plan-hit  crashes")
+	if breakers {
+		fmt.Print("    breaker  trips")
 	}
 	fmt.Println()
+	for _, nr := range r.NodeResults {
+		fmt.Printf("  %4d  %9d  %9d  %6d  %8.4f  %7d",
+			nr.Node, nr.Routed, nr.Completed, nr.Errors, nr.PlanCacheHitRate, nr.Crashes)
+		if breakers {
+			fmt.Printf("  %9s  %5d", nr.BreakerState, nr.BreakerTrips)
+		}
+		fmt.Println()
+	}
+	for _, nr := range r.NodeResults {
+		if len(nr.BreakerTransitions) == 0 {
+			continue
+		}
+		fmt.Printf("  node %d breaker transitions:\n", nr.Node)
+		for _, tr := range nr.BreakerTransitions {
+			fmt.Printf("    %s\n", tr)
+		}
+	}
+	fmt.Println()
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		sb.WriteString(prefix)
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	return sb.String()
 }
 
 // figure1 prints the monitor ladder (thresholds ascending, concurrency

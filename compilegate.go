@@ -112,6 +112,21 @@ type (
 	// ClusterRouter is the deterministic statement router fronting the
 	// nodes of a multi-node run.
 	ClusterRouter = cluster.Router
+	// RouterConfig assembles a ClusterRouter: policy plus the optional
+	// health-exclusion, circuit-breaker, and failover mechanisms.
+	RouterConfig = cluster.Config
+	// RouterHealthConfig turns on health-aware node exclusion in the
+	// cluster router (Scenario.Health / BenchmarkOptions.Health).
+	RouterHealthConfig = cluster.HealthConfig
+	// RouterBreakerConfig arms per-node circuit breakers in the cluster
+	// router (Scenario.Breaker / BenchmarkOptions.Breaker).
+	RouterBreakerConfig = cluster.BreakerConfig
+	// BreakerState is a circuit breaker's position: closed, open, or
+	// half-open.
+	BreakerState = cluster.BreakerState
+	// BreakerTransition is one entry of a node breaker's state-change
+	// trail (NodeResult.BreakerTransitions).
+	BreakerTransition = cluster.BreakerTransition
 
 	// Scenario declaratively describes one experiment: workload spec,
 	// catalog scale, client population, measurement window, and
@@ -324,6 +339,13 @@ const (
 	RouteRoundRobin  = cluster.RoundRobin
 	RouteLeastLoaded = cluster.LeastLoaded
 	RouteAffinity    = cluster.Affinity
+)
+
+// The circuit-breaker states a cluster node's breaker moves through.
+const (
+	BreakerClosed   = cluster.BreakerClosed
+	BreakerOpen     = cluster.BreakerOpen
+	BreakerHalfOpen = cluster.BreakerHalfOpen
 )
 
 // Version of the reproduction.

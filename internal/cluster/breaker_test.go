@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"compilegate/internal/errclass"
+)
+
+// step is one scripted breaker interaction: an admit (checking the
+// probe flag) or an observe, followed by the expected state.
+type step struct {
+	at      time.Duration
+	admit   bool // call admit instead of observe
+	err     error
+	probe   bool // admit: expected probe flag; observe: the flag passed in
+	state   BreakerState
+	canAt   time.Duration // when set (>=0), also check canAdmit at this time
+	canWant bool
+}
+
+// TestBreakerStateMachine walks the trip / cooldown / probe / re-trip
+// sequences through scripted observation streams.
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{Enabled: true, Threshold: 3, Cooldown: 30 * time.Second, Probes: 2}
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"trips-at-threshold", []step{
+			{at: sec(1), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(2), err: errclass.Timeout, state: BreakerClosed},
+			{at: sec(3), err: errclass.OOM, state: BreakerOpen},
+		}},
+		{"success-resets-streak", []step{
+			{at: sec(1), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(2), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(3), err: nil, state: BreakerClosed},
+			{at: sec(4), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(5), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(6), err: errclass.Crashed, state: BreakerOpen},
+		}},
+		{"unclassified-errors-do-not-count", []step{
+			{at: sec(1), err: errors.New("parse error"), state: BreakerClosed},
+			{at: sec(2), err: errors.New("parse error"), state: BreakerClosed},
+			{at: sec(3), err: errors.New("parse error"), state: BreakerClosed},
+			{at: sec(4), err: errors.New("parse error"), state: BreakerClosed},
+		}},
+		{"cooldown-gates-reentry", []step{
+			{at: sec(1), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(2), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(3), err: errclass.Shed, state: BreakerOpen,
+				canAt: sec(32), canWant: false},
+			// Cooldown elapsed: admit moves open -> half-open and
+			// reserves the single probe slot.
+			{at: sec(33), admit: true, probe: true, state: BreakerHalfOpen,
+				canAt: sec(34), canWant: false},
+		}},
+		{"probes-close-gradually", []step{
+			{at: sec(1), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(2), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(3), err: errclass.Shed, state: BreakerOpen},
+			{at: sec(40), admit: true, probe: true, state: BreakerHalfOpen},
+			{at: sec(45), err: nil, probe: true, state: BreakerHalfOpen},
+			{at: sec(46), admit: true, probe: true, state: BreakerHalfOpen},
+			{at: sec(50), err: nil, probe: true, state: BreakerClosed},
+		}},
+		{"probe-failure-retrips", []step{
+			{at: sec(1), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(2), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(3), err: errclass.Shed, state: BreakerOpen},
+			{at: sec(40), admit: true, probe: true, state: BreakerHalfOpen},
+			{at: sec(44), err: errclass.Crashed, probe: true, state: BreakerOpen,
+				// The re-trip restarts the cooldown from t=44.
+				canAt: sec(50), canWant: false},
+			{at: sec(80), admit: true, probe: true, state: BreakerHalfOpen},
+			{at: sec(81), err: nil, probe: true, state: BreakerHalfOpen},
+			{at: sec(82), admit: true, probe: true, state: BreakerHalfOpen},
+			{at: sec(83), err: nil, probe: true, state: BreakerClosed},
+		}},
+		{"stale-non-probe-outcomes-ignored", []step{
+			{at: sec(1), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(2), err: errclass.Shed, state: BreakerClosed},
+			{at: sec(3), err: errclass.Shed, state: BreakerOpen},
+			// Outcomes of work admitted before the trip arrive late;
+			// neither failures nor successes may move the machine.
+			{at: sec(10), err: errclass.Crashed, state: BreakerOpen},
+			{at: sec(11), err: nil, state: BreakerOpen},
+			{at: sec(40), admit: true, probe: true, state: BreakerHalfOpen},
+			{at: sec(41), err: errclass.Shed, state: BreakerHalfOpen},
+			{at: sec(42), err: nil, probe: true, state: BreakerHalfOpen},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newBreaker(cfg)
+			for si, st := range tc.steps {
+				if st.admit {
+					if got := b.admit(st.at); got != st.probe {
+						t.Fatalf("step %d: admit probe=%v, want %v", si, got, st.probe)
+					}
+				} else {
+					b.observe(st.at, st.err, st.probe)
+				}
+				if b.state != st.state {
+					t.Fatalf("step %d: state=%s, want %s", si, b.state, st.state)
+				}
+				if st.canAt > 0 {
+					if got := b.canAdmit(st.canAt); got != st.canWant {
+						t.Fatalf("step %d: canAdmit(%v)=%v, want %v", si, st.canAt, got, st.canWant)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerDefaultsAndTransitions(t *testing.T) {
+	cfg := BreakerConfig{Enabled: true}
+	if cfg.threshold() != 5 || cfg.cooldown() != 45*time.Second || cfg.probes() != 3 {
+		t.Fatalf("defaults = %d/%v/%d", cfg.threshold(), cfg.cooldown(), cfg.probes())
+	}
+	b := newBreaker(cfg)
+	for i := 0; i < 5; i++ {
+		b.observe(time.Duration(i)*time.Second, errclass.Shed, false)
+	}
+	if b.state != BreakerOpen || b.trips != 1 {
+		t.Fatalf("state=%s trips=%d after 5 failures", b.state, b.trips)
+	}
+	want := []BreakerTransition{{At: 4 * time.Second, From: BreakerClosed, To: BreakerOpen}}
+	if len(b.transitions) != 1 || b.transitions[0] != want[0] {
+		t.Fatalf("transitions = %v, want %v", b.transitions, want)
+	}
+	if s := b.transitions[0].String(); s != "4s closed->open" {
+		t.Fatalf("transition renders %q", s)
+	}
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("state names changed")
+	}
+}
+
+// TestBreakerTransitionLogBounded pins the transition-log cap: a
+// breaker that flaps forever keeps its counters exact and drops only
+// the trail's tail.
+func TestBreakerTransitionLogBounded(t *testing.T) {
+	cfg := BreakerConfig{Enabled: true, Threshold: 1, Cooldown: time.Second, Probes: 1}
+	b := newBreaker(cfg)
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		// Trip (closed/half-open -> open), cool down, fail the probe.
+		b.observe(now, errclass.Shed, false)
+		now += 2 * time.Second
+		if !b.canAdmit(now) {
+			t.Fatalf("iteration %d: cooldown did not elapse", i)
+		}
+		if probe := b.admit(now); !probe {
+			t.Fatalf("iteration %d: half-open did not probe", i)
+		}
+		b.observe(now, errclass.Shed, true)
+		now += 2 * time.Second
+	}
+	if len(b.transitions) != transitionCap {
+		t.Fatalf("transition log holds %d, want cap %d", len(b.transitions), transitionCap)
+	}
+	if b.dropped == 0 {
+		t.Fatal("dropped counter did not move past the cap")
+	}
+	if b.trips < 200 {
+		t.Fatalf("trips = %d, want >= 200", b.trips)
+	}
+}

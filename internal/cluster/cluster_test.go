@@ -5,16 +5,20 @@ import (
 	"strings"
 	"testing"
 
+	"compilegate/internal/errclass"
 	"compilegate/internal/sqlparser"
 	"compilegate/internal/vtime"
 )
 
 // fakeNode records submissions and plays back scripted health/load.
 type fakeNode struct {
-	down      bool
-	active    int
-	submitted []string
-	err       error
+	down       bool
+	active     int
+	overcommit float64
+	thrash     float64
+	brownedOut bool
+	submitted  []string
+	err        error
 }
 
 func (f *fakeNode) Submit(t *vtime.Task, sql string) error {
@@ -22,8 +26,11 @@ func (f *fakeNode) Submit(t *vtime.Task, sql string) error {
 	return f.err
 }
 
-func (f *fakeNode) Down() bool          { return f.down }
-func (f *fakeNode) ActiveCompiles() int { return f.active }
+func (f *fakeNode) Down() bool               { return f.down }
+func (f *fakeNode) ActiveCompiles() int      { return f.active }
+func (f *fakeNode) OvercommitRatio() float64 { return f.overcommit }
+func (f *fakeNode) BrownedOut() bool         { return f.brownedOut }
+func (f *fakeNode) ThrashScore() float64     { return f.thrash }
 
 func fleet(n int) ([]*fakeNode, []Node) {
 	fakes := make([]*fakeNode, n)
@@ -160,6 +167,228 @@ func TestAffinityPinsStatementsToHomes(t *testing.T) {
 	r.Submit(nil, stmts[0])
 	if len(fakes[home].submitted) != before+1 {
 		t.Fatal("affinity did not return to the restarted home")
+	}
+}
+
+// TestAllExcludedFallbackIsPolicyFirstChoice pins the all-excluded
+// contract across every policy: the doomed submission goes to the
+// policy's first choice computed without the eligibility filter.
+// (pickLeastLoaded used to return node 0 here, silently diverging from
+// the round-robin and affinity paths.)
+func TestAllExcludedFallbackIsPolicyFirstChoice(t *testing.T) {
+	affSQL := "SELECT * FROM dim_customer WHERE dim_customer.customer_id = 1"
+	affHome := func(n int) int {
+		return int(sqlparser.Hash64(sqlparser.Fingerprint(affSQL)) % uint64(n))
+	}
+	cases := []struct {
+		name   string
+		policy Policy
+		sql    string
+		active [3]int
+		want   func() int
+	}{
+		{"round-robin-cursor", RoundRobin, "q", [3]int{0, 0, 0},
+			func() int { return 0 }},
+		{"affinity-home", Affinity, affSQL, [3]int{0, 0, 0},
+			func() int { return affHome(3) }},
+		{"least-loaded-argmin", LeastLoaded, "q", [3]int{4, 1, 2},
+			func() int { return 1 }},
+		{"least-loaded-tie-lowest-index", LeastLoaded, "q", [3]int{3, 3, 3},
+			func() int { return 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fakes, nodes := fleet(3)
+			for i, f := range fakes {
+				f.down = true
+				f.err = errors.New("crashed")
+				f.active = tc.active[i]
+			}
+			r, err := New(tc.policy, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Submit(nil, tc.sql); err == nil {
+				t.Fatal("all-down fleet should surface the node error")
+			}
+			want := tc.want()
+			if got := len(fakes[want].submitted); got != 1 {
+				t.Fatalf("first choice node %d got %d submissions (routed: %v)",
+					want, got, []uint64{r.Routed(0), r.Routed(1), r.Routed(2)})
+			}
+			if r.AllExcluded() != 1 {
+				t.Fatalf("all-excluded counter = %d, want 1", r.AllExcluded())
+			}
+		})
+	}
+}
+
+// TestHealthExclusion pins the health envelope: every policy skips
+// nodes past the overcommit/thrash thresholds (and browned-out ones
+// when ShedBrownout is set) exactly like crashed nodes.
+func TestHealthExclusion(t *testing.T) {
+	newHealthy := func(policy Policy, h HealthConfig) ([]*fakeNode, *Router) {
+		fakes, nodes := fleet(3)
+		r, err := NewRouter(Config{Policy: policy, Health: h}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fakes, r
+	}
+
+	// Overcommit past the default 1.25 threshold excludes the node.
+	fakes, r := newHealthy(RoundRobin, HealthConfig{Enabled: true})
+	fakes[0].overcommit = 1.4
+	for i := 0; i < 6; i++ {
+		r.Submit(nil, "q")
+	}
+	if len(fakes[0].submitted) != 0 {
+		t.Fatalf("overcommitted node took %d submissions", len(fakes[0].submitted))
+	}
+	if len(fakes[1].submitted)+len(fakes[2].submitted) != 6 {
+		t.Fatal("healthy nodes did not absorb the load")
+	}
+	if r.Rerouted() == 0 {
+		t.Error("rerouted counter did not move for a health exclusion")
+	}
+
+	// Thrash score past the default 0.9 threshold excludes too; at the
+	// threshold it does not (inclusive envelope).
+	fakes, r = newHealthy(RoundRobin, HealthConfig{Enabled: true})
+	fakes[1].thrash = 0.95
+	fakes[2].thrash = 0.9
+	for i := 0; i < 6; i++ {
+		r.Submit(nil, "q")
+	}
+	if len(fakes[1].submitted) != 0 {
+		t.Fatalf("thrashing node took %d submissions", len(fakes[1].submitted))
+	}
+	if len(fakes[2].submitted) == 0 {
+		t.Fatal("node at the thrash threshold was excluded")
+	}
+
+	// Brown-out only matters under ShedBrownout.
+	fakes, r = newHealthy(LeastLoaded, HealthConfig{Enabled: true})
+	fakes[0].brownedOut = true
+	r.Submit(nil, "q")
+	if len(fakes[0].submitted) != 1 {
+		t.Fatal("browned-out node excluded without ShedBrownout")
+	}
+	fakes, r = newHealthy(LeastLoaded, HealthConfig{Enabled: true, ShedBrownout: true})
+	fakes[0].brownedOut = true
+	r.Submit(nil, "q")
+	if len(fakes[0].submitted) != 0 {
+		t.Fatal("ShedBrownout did not exclude the browned-out node")
+	}
+	if len(fakes[1].submitted) != 1 {
+		t.Fatal("least-loaded did not move to the next healthy node")
+	}
+}
+
+// TestFailoverResubmission pins the failover plane: crashed responses
+// hop to the next eligible node within the hop budget, other error
+// classes surface immediately, and an exhausted fleet stops masking.
+func TestFailoverResubmission(t *testing.T) {
+	fakes, nodes := fleet(3)
+	r, err := NewRouter(Config{Policy: RoundRobin, FailoverHops: 2}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 0 returns a crashed response (an in-flight loss: Down() is
+	// still false); the router resubmits to node 1, which succeeds.
+	fakes[0].err = errclass.Crashed
+	if err := r.Submit(nil, "q"); err != nil {
+		t.Fatalf("failover did not mask the crash: %v", err)
+	}
+	if len(fakes[0].submitted) != 1 || len(fakes[1].submitted) != 1 {
+		t.Fatalf("submissions = %d/%d/%d, want 1/1/0",
+			len(fakes[0].submitted), len(fakes[1].submitted), len(fakes[2].submitted))
+	}
+	if r.Resubmitted() != 1 {
+		t.Fatalf("resubmitted = %d, want 1", r.Resubmitted())
+	}
+
+	// Shed responses are the admission policy speaking, not a dead
+	// node: no failover, whichever node the cursor lands on.
+	for _, f := range fakes {
+		f.err = errclass.Shed
+	}
+	if err := r.Submit(nil, "q"); !errors.Is(err, errclass.Shed) {
+		t.Fatalf("shed response was masked: %v", err)
+	}
+	if r.Resubmitted() != 1 {
+		t.Fatal("shed response triggered failover")
+	}
+
+	// Every node crashing exhausts the hop budget: two hops after the
+	// first attempt, then the error surfaces.
+	fakes, nodes = fleet(3)
+	for _, f := range fakes {
+		f.err = errclass.Crashed
+	}
+	r, _ = NewRouter(Config{Policy: RoundRobin, FailoverHops: 2}, nodes)
+	if err := r.Submit(nil, "q"); !errors.Is(err, errclass.Crashed) {
+		t.Fatalf("exhausted failover returned %v", err)
+	}
+	total := len(fakes[0].submitted) + len(fakes[1].submitted) + len(fakes[2].submitted)
+	if total != 3 || r.Resubmitted() != 2 {
+		t.Fatalf("attempts = %d, resubmitted = %d, want 3 and 2", total, r.Resubmitted())
+	}
+}
+
+// TestRouterBreakerTripsAndExcludes drives classified failures through
+// the router until the node's breaker opens, then checks routing
+// avoids it and the accessors report the trip.
+func TestRouterBreakerTripsAndExcludes(t *testing.T) {
+	fakes, nodes := fleet(2)
+	cfg := Config{Policy: RoundRobin, Breaker: BreakerConfig{Enabled: true, Threshold: 3}}
+	r, err := NewRouter(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := r.BreakerState(0); !ok || st != BreakerClosed {
+		t.Fatalf("initial breaker state = %s/%v", st, ok)
+	}
+	// Node 0 sheds everything it sees; round-robin alternates, so node
+	// 0 accumulates consecutive failures while node 1 stays healthy.
+	fakes[0].err = errclass.Shed
+	for i := 0; i < 8; i++ {
+		r.Submit(nil, "q")
+	}
+	if st, _ := r.BreakerState(0); st != BreakerOpen {
+		t.Fatalf("node 0 breaker = %s, want open", st)
+	}
+	if r.BreakerTrips(0) != 1 || r.BreakerTrips(1) != 0 {
+		t.Fatalf("trips = %d/%d, want 1/0", r.BreakerTrips(0), r.BreakerTrips(1))
+	}
+	if len(r.BreakerTransitions(0)) != 1 {
+		t.Fatalf("transition trail = %v", r.BreakerTransitions(0))
+	}
+	// With the breaker open (and a nil-task clock pinned at 0, inside
+	// the cooldown) every further submission lands on node 1.
+	before := len(fakes[0].submitted)
+	for i := 0; i < 4; i++ {
+		if err := r.Submit(nil, "q"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(fakes[0].submitted) != before {
+		t.Fatal("open breaker did not exclude the node")
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "breaker=open trips=1") || !strings.Contains(rep, "resubmitted=0") {
+		t.Fatalf("report missing breaker fields:\n%s", rep)
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	_, nodes := fleet(2)
+	if _, err := NewRouter(Config{Policy: RoundRobin, FailoverHops: -1}, nodes); err == nil {
+		t.Fatal("negative failover hops accepted")
+	}
+	if _, err := NewRouter(Config{Policy: "bogus"}, nodes); err == nil {
+		t.Fatal("unknown policy accepted")
 	}
 }
 

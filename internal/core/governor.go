@@ -160,6 +160,11 @@ func (g *Governor) brownoutTick(pressured bool) {
 // BrownoutActive reports whether the governor is in brown-out.
 func (g *Governor) BrownoutActive() bool { return g.brownout }
 
+// Exhaustion reports whether the broker's last notification predicted
+// memory exhaustion — the signal behind best-effort plans, exposed for
+// node health scoring.
+func (g *Governor) Exhaustion() bool { return g.exhaustion }
+
 // BrownoutEntries returns how many times brown-out was entered.
 func (g *Governor) BrownoutEntries() uint64 { return g.brownoutEntries }
 

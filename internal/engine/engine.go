@@ -1060,6 +1060,41 @@ func (s *Server) Governor() *core.Governor { return s.gov }
 // signal a cluster router balances on.
 func (s *Server) ActiveCompiles() int { return s.gov.Active() }
 
+// OvercommitRatio returns the machine's current wired-memory overcommit
+// ratio (above 1 the node is paging) — a cluster router's
+// memory-pressure health signal.
+func (s *Server) OvercommitRatio() float64 { return s.budget.OvercommitRatio() }
+
+// BrownedOut reports whether the governor is in its sustained-pressure
+// brown-out mode.
+func (s *Server) BrownedOut() bool { return s.gov.BrownoutActive() }
+
+// ThrashScore condenses the node's paging state into [0, 1] for
+// health-aware routing: the current paging slowdown normalized to the
+// pressure model's cap, floored at 0.5 while the broker's trend
+// detector reports sustained pressure, and pinned to 1 when the broker
+// predicts memory exhaustion. A pure function of simulation state — no
+// sampling, no randomness — so routing on it stays deterministic.
+func (s *Server) ThrashScore() float64 {
+	score := 0.0
+	if slowCap := s.cfg.Pressure.MaxSlowdown; slowCap > 1 {
+		score = (s.budget.Slowdown() - 1) / (slowCap - 1)
+	}
+	if s.brk != nil && s.brk.UnderPressure() && score < 0.5 {
+		score = 0.5
+	}
+	if s.gov.Exhaustion() {
+		score = 1
+	}
+	if score < 0 {
+		return 0
+	}
+	if score > 1 {
+		return 1
+	}
+	return score
+}
+
 // BufferPool returns the buffer pool.
 func (s *Server) BufferPool() *bufferpool.Pool { return s.pool }
 

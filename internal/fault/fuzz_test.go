@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"compilegate/internal/cluster"
 	"compilegate/internal/fault"
 	"compilegate/internal/harness"
 	"compilegate/internal/mem"
@@ -77,6 +78,75 @@ func FuzzFaultPlan(f *testing.F) {
 		}
 		if _, err := harness.Run(o); err != nil {
 			t.Fatalf("faulted run failed: %v\nplan:\n%s", err, plan.String())
+		}
+	})
+}
+
+// FuzzClusterFaultPlan drives node-targeted two-injection schedules
+// through a three-node cluster with the whole health plane armed —
+// health exclusion, aggressive circuit breakers, and failover
+// resubmission — under a routing policy picked by the seed. On top of
+// the harness's per-node memory invariant suite, every run is audited
+// for routing-plane conservation: the per-node routed counts must sum
+// to client submissions plus failover resubmissions, and each breaker
+// must land in a legal state.
+func FuzzClusterFaultPlan(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(300), uint16(120), uint8(3), uint8(1), uint8(1), uint16(700), uint16(60), uint8(7), uint8(2))
+	f.Add(int64(2), uint8(3), uint16(100), uint16(500), uint8(10), uint8(0), uint8(3), uint16(900), uint16(200), uint8(0), uint8(0))
+	f.Add(int64(3), uint8(2), uint16(0), uint16(1), uint8(255), uint8(2), uint8(1), uint16(1199), uint16(599), uint8(128), uint8(1))
+	f.Add(int64(4), uint8(3), uint16(600), uint16(240), uint8(42), uint8(1), uint8(3), uint16(650), uint16(240), uint8(42), uint8(1))
+	policies := []cluster.Policy{cluster.RoundRobin, cluster.LeastLoaded, cluster.Affinity}
+	f.Fuzz(func(t *testing.T, seed int64,
+		k1 uint8, at1, dur1 uint16, p1, n1 uint8,
+		k2 uint8, at2, dur2 uint16, p2, n2 uint8) {
+		const nodes = 3
+		first := fuzzInjection(k1, at1, dur1, p1)
+		first.Node = int(n1 % nodes)
+		second := fuzzInjection(k2, at2, dur2, p2)
+		second.Node = int(n2 % nodes)
+		plan := fault.Plan{Seed: seed, Injections: []fault.Injection{first, second}}
+		if plan.Validate() != nil {
+			// Same-kind overlap on one node: drop the second injection
+			// instead of discarding the case.
+			plan.Injections = plan.Injections[:1]
+		}
+		o := harness.Options{
+			Clients:   6,
+			Horizon:   30 * time.Minute,
+			Warmup:    5 * time.Minute,
+			Throttled: true,
+			Scale:     0.02,
+			Workload:  workload.SpecSales,
+			Seed:      seed,
+			Fault:     &plan,
+			Nodes:     nodes,
+			Router:    policies[int(uint64(seed)%3)],
+			Health:    &cluster.HealthConfig{Enabled: true, ShedBrownout: seed%2 == 0},
+			// Aggressive settings so fuzzed faults actually exercise the
+			// trip / cooldown / probe cycle inside the 30-minute horizon.
+			Breaker:      &cluster.BreakerConfig{Enabled: true, Threshold: 2, Cooldown: 30 * time.Second, Probes: 2},
+			FailoverHops: 2,
+		}
+		r, err := harness.Run(o)
+		if err != nil {
+			t.Fatalf("breaker-armed cluster run failed: %v\nplan:\n%s", err, plan.String())
+		}
+		var routed uint64
+		for _, nr := range r.NodeResults {
+			routed += nr.Routed
+			switch nr.BreakerState {
+			case "closed", "open", "half-open":
+			default:
+				t.Fatalf("node %d finished in unknown breaker state %q", nr.Node, nr.BreakerState)
+			}
+			for _, tr := range nr.BreakerTransitions {
+				if tr.From == tr.To {
+					t.Fatalf("node %d logged a self-transition %s", nr.Node, tr)
+				}
+			}
+		}
+		if want := uint64(r.Load.Submitted+r.Load.Retries) + r.Resubmitted; routed != want {
+			t.Fatalf("routed sum %d != submissions+failovers %d\nplan:\n%s", routed, want, plan.String())
 		}
 	})
 }

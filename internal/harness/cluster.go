@@ -32,7 +32,14 @@ func runCluster(sched *vtime.Scheduler, o Options, ecfg engine.Config, snap *Sna
 		nodes[i] = srv
 		routed[i] = srv
 	}
-	router, err := cluster.New(o.Router, routed)
+	rcfg := cluster.Config{Policy: o.Router, FailoverHops: o.FailoverHops}
+	if o.Health != nil {
+		rcfg.Health = *o.Health
+	}
+	if o.Breaker != nil {
+		rcfg.Breaker = *o.Breaker
+	}
+	router, err := cluster.NewRouter(rcfg, routed)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
@@ -88,10 +95,13 @@ func runCluster(sched *vtime.Scheduler, o Options, ecfg engine.Config, snap *Sna
 // machine).
 func aggregateCluster(o Options, nodes []*engine.Server, router *cluster.Router, loadStats *workload.LoadStats) *Result {
 	res := &Result{
-		Options:      o,
-		ErrorsByKind: make(map[string]int64),
-		Load:         *loadStats,
-		NodeResults:  make([]NodeResult, len(nodes)),
+		Options:           o,
+		ErrorsByKind:      make(map[string]int64),
+		Load:              *loadStats,
+		NodeResults:       make([]NodeResult, len(nodes)),
+		Rerouted:          router.Rerouted(),
+		Resubmitted:       router.Resubmitted(),
+		RouterAllExcluded: router.AllExcluded(),
 	}
 
 	var (
@@ -113,9 +123,16 @@ func aggregateCluster(o Options, nodes []*engine.Server, router *cluster.Router,
 			PlanCacheHitRate: srv.PlanCache().HitRate(),
 			BestEffortPlans:  srv.Governor().BestEffortCount(),
 			Crashes:          srv.Crashes(),
+			BrownoutEntries:  srv.Governor().BrownoutEntries(),
+			BrownoutTicks:    srv.Governor().BrownoutTicks(),
+			BreakerTrips:     router.BreakerTrips(i),
 		}
 		if chain := srv.Governor().Chain(); chain != nil {
 			nr.GatewayTimeouts = chain.Timeouts()
+		}
+		if st, ok := router.BreakerState(i); ok {
+			nr.BreakerState = st.String()
+			nr.BreakerTransitions = router.BreakerTransitions(i)
 		}
 		res.NodeResults[i] = nr
 
@@ -126,6 +143,8 @@ func aggregateCluster(o Options, nodes []*engine.Server, router *cluster.Router,
 		}
 		res.BestEffortPlans += nr.BestEffortPlans
 		res.GatewayTimeouts += nr.GatewayTimeouts
+		res.BrownoutEntries += nr.BrownoutEntries
+		res.BrownoutTicks += nr.BrownoutTicks
 		windowSeries = append(windowSeries, rec.CompletionSeries(o.Warmup, o.Horizon))
 		compileHists = append(compileHists, srv.CompileTimes())
 		execHists = append(execHists, srv.ExecTimes())

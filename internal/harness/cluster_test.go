@@ -133,6 +133,53 @@ func TestClusterFaultTargetsOneNode(t *testing.T) {
 	}
 }
 
+// TestClusterBreakerRunSurfacesRouterDiagnostics runs a breaker-armed
+// cluster through a node loss and checks the router's health actions
+// land in the Result: breaker state and trips per node, rerouted and
+// resubmitted counters, and the routed accounting extended by failover
+// hops.
+func TestClusterBreakerRunSurfacesRouterDiagnostics(t *testing.T) {
+	o := clusterOpts(2, cluster.RoundRobin)
+	o.Breaker = &cluster.BreakerConfig{Enabled: true, Threshold: 3}
+	o.FailoverHops = 1
+	o.Fault = &fault.Plan{Seed: 7, Injections: []fault.Injection{
+		{Kind: fault.CrashRestart, Node: 1, At: 10 * time.Minute, Duration: 5 * time.Minute},
+	}}
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nr := range r.NodeResults {
+		if nr.BreakerState == "" {
+			t.Fatalf("node %d: breaker state missing from result", i)
+		}
+	}
+	if r.NodeResults[1].BreakerTrips == 0 {
+		t.Fatal("crashed node's breaker never tripped")
+	}
+	if len(r.NodeResults[1].BreakerTransitions) == 0 {
+		t.Fatal("crashed node has no breaker transition trail")
+	}
+	if r.Rerouted == 0 {
+		t.Fatal("rerouted counter missing from result")
+	}
+	var routed uint64
+	for _, nr := range r.NodeResults {
+		routed += nr.Routed
+	}
+	if want := uint64(r.Load.Submitted+r.Load.Retries) + r.Resubmitted; routed != want {
+		t.Fatalf("routed sum %d != submissions+failovers %d", routed, want)
+	}
+	// The run is deterministic like every other cluster configuration.
+	again, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.NodeResults, again.NodeResults) {
+		t.Fatalf("breaker-armed run is nondeterministic:\n%+v\n%+v", r.NodeResults, again.NodeResults)
+	}
+}
+
 func TestClusterValidation(t *testing.T) {
 	o := clusterOpts(2, cluster.Policy("bogus"))
 	if _, err := Run(o); err == nil {

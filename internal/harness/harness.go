@@ -64,6 +64,17 @@ type Options struct {
 	// Router picks the cluster routing policy (zero value:
 	// round-robin). Ignored when Nodes <= 1.
 	Router cluster.Policy
+	// Health, when non-nil, turns on health-aware node exclusion in the
+	// cluster router: nodes past the overcommit/thrash thresholds are
+	// skipped like crashed ones. Cluster runs only.
+	Health *cluster.HealthConfig
+	// Breaker, when non-nil, arms a per-node circuit breaker in the
+	// cluster router, driven by the errclass outcomes of routed
+	// submissions. Cluster runs only.
+	Breaker *cluster.BreakerConfig
+	// FailoverHops bounds router-level failover resubmission on
+	// crashed responses (0 disables it). Cluster runs only.
+	FailoverHops int
 }
 
 // DefaultOptions returns the SALES configuration at the given client
@@ -105,6 +116,20 @@ type Result struct {
 	// GatewayTimeouts / BestEffortPlans count throttling outcomes.
 	GatewayTimeouts uint64
 	BestEffortPlans uint64
+	// BrownoutEntries / BrownoutTicks are the governor's brown-out
+	// telemetry (summed across nodes on cluster runs): how many times
+	// sustained pressure escalated admission to best-effort-only, and
+	// for how many broker ticks in total.
+	BrownoutEntries uint64
+	BrownoutTicks   uint64
+	// Rerouted / Resubmitted count the cluster router's health actions:
+	// submissions steered away from their policy's first choice, and
+	// failover resubmissions after crashed responses. RouterAllExcluded
+	// counts submissions that found every node excluded and went to the
+	// policy's first choice anyway. All zero for single-server runs.
+	Rerouted          uint64
+	Resubmitted       uint64
+	RouterAllExcluded uint64
 	// CompileP50/ExecP50 are median latencies; CompileP90 bounds the
 	// compile-latency tail (the §5.2 profile claims).
 	CompileP50, ExecP50 time.Duration
@@ -158,6 +183,16 @@ type NodeResult struct {
 	BestEffortPlans uint64
 	GatewayTimeouts uint64
 	Crashes         uint64
+	// BrownoutEntries / BrownoutTicks are the node governor's brown-out
+	// telemetry.
+	BrownoutEntries uint64
+	BrownoutTicks   uint64
+	// BreakerState / BreakerTrips / BreakerTransitions describe the
+	// node's circuit breaker at end of run (zero values when breakers
+	// are disabled; BreakerState is then "").
+	BreakerState       string
+	BreakerTrips       uint64
+	BreakerTransitions []cluster.BreakerTransition
 }
 
 // traceWindowAvg averages trace samples with T in [from, to).
@@ -228,6 +263,12 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 	}
 	if o.Nodes > 1 && !o.Router.Valid() {
 		return nil, fmt.Errorf("harness: unknown router policy %q", string(o.Router))
+	}
+	if o.Nodes <= 1 && (o.Health != nil || o.Breaker != nil || o.FailoverHops != 0) {
+		return nil, fmt.Errorf("harness: router health/breaker/failover options require a cluster run (nodes = %d)", o.Nodes)
+	}
+	if o.FailoverHops < 0 {
+		return nil, fmt.Errorf("harness: negative failover hops %d", o.FailoverHops)
 	}
 
 	var ecfg engine.Config
@@ -307,6 +348,8 @@ func RunOn(sched *vtime.Scheduler, o Options) (*Result, error) {
 		BufferPoolHitRate: srv.BufferPool().HitRate(),
 		PlanCacheHitRate:  srv.PlanCache().HitRate(),
 		BestEffortPlans:   srv.Governor().BestEffortCount(),
+		BrownoutEntries:   srv.Governor().BrownoutEntries(),
+		BrownoutTicks:     srv.Governor().BrownoutTicks(),
 		CompileP50:        srv.CompileTimes().Quantile(0.5),
 		CompileP90:        srv.CompileTimes().Quantile(0.9),
 		ExecP50:           srv.ExecTimes().Quantile(0.5),

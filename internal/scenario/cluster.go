@@ -5,6 +5,7 @@ import (
 
 	"compilegate/internal/cluster"
 	"compilegate/internal/fault"
+	"compilegate/internal/mem"
 	"compilegate/internal/workload"
 )
 
@@ -86,4 +87,102 @@ func init() {
 		}},
 	}
 	Default.MustRegister(loss)
+
+	// The thrash-shedding experiment: a wired-memory leak squeezes node 1
+	// into the paging regime while the rest of the fleet stays healthy.
+	// With the health envelope on, the router reads the node's overcommit
+	// and thrash score and steers traffic around it; the breaker converts
+	// its shed/timeout responses into an open circuit; failover masks the
+	// stragglers. The claim test replicates this scenario against a twin
+	// with all three mechanisms off and holds a per-seed throughput
+	// margin.
+	thrash := Scenario{
+		Name:        "cluster-thrash-shed",
+		Description: "memory leak thrashes node 1 of 3; health-aware routing sheds around it",
+		Clients:     24,
+		Scale:       0.04,
+		Workload:    workload.SpecSales,
+		Horizon:     100 * time.Minute,
+		Warmup:      15 * time.Minute,
+		Throttled:   true,
+		Seed:        1,
+		Nodes:       3,
+		Router:      cluster.RoundRobin,
+		Engine:      calibrated(brownout),
+		Load: func(l *workload.LoadConfig) {
+			retryDriver(l)
+		},
+		Health:       &cluster.HealthConfig{Enabled: true},
+		Breaker:      &cluster.BreakerConfig{Enabled: true},
+		FailoverHops: 2,
+		Fault: &fault.Plan{Seed: 106, Injections: []fault.Injection{
+			{Kind: fault.MemLeak, Node: 1, At: 25 * time.Minute, Duration: 35 * time.Minute,
+				RateBytes: 64 * mem.MiB, Interval: 10 * time.Second, Release: true},
+		}},
+	}
+	Default.MustRegister(thrash)
+
+	// The correlated-storm control: a compile-storm burst hits every node
+	// at the same instant. Storms raise pressure fleet-wide, but client
+	// queries keep succeeding between sheds, so no breaker may accumulate
+	// its consecutive-failure threshold — a breaker design that tripped
+	// the whole fleet open under correlated stress would be worse than no
+	// breaker at all. The claim test holds all-excluded at exactly zero
+	// on every seed.
+	storm := Scenario{
+		Name:        "cluster-compile-storm",
+		Description: "correlated compile storm on all 4 nodes — breakers must not trip the fleet open",
+		Clients:     48,
+		Scale:       0.04,
+		Workload:    workload.SpecSales,
+		Horizon:     80 * time.Minute,
+		Warmup:      15 * time.Minute,
+		Throttled:   true,
+		Seed:        1,
+		Nodes:       4,
+		Router:      cluster.RoundRobin,
+		Engine:      calibrated(brownout),
+		Load: func(l *workload.LoadConfig) {
+			retryDriver(l)
+		},
+		Breaker:      &cluster.BreakerConfig{Enabled: true},
+		FailoverHops: 2,
+		Fault: &fault.Plan{Seed: 107, Injections: []fault.Injection{
+			{Kind: fault.CompileStorm, Node: 0, At: 40 * time.Minute, Burst: 16, Interval: 2 * time.Second},
+			{Kind: fault.CompileStorm, Node: 1, At: 40 * time.Minute, Burst: 16, Interval: 2 * time.Second},
+			{Kind: fault.CompileStorm, Node: 2, At: 40 * time.Minute, Burst: 16, Interval: 2 * time.Second},
+			{Kind: fault.CompileStorm, Node: 3, At: 40 * time.Minute, Burst: 16, Interval: 2 * time.Second},
+		}},
+	}
+	Default.MustRegister(storm)
+
+	// The recovery experiment: cluster-nodeloss re-run with the router's
+	// liveness oracle replaced by circuit breakers. The router discovers
+	// the crash through fail-fast responses (tripping node 1's breaker
+	// within a handful of submissions), masks them with failover, and
+	// re-admits the restarted node through half-open probes. The claim
+	// test bounds cluster-level recovery time across seeds.
+	recovery := Scenario{
+		Name:        "cluster-breaker-recovery",
+		Description: "node 1 of 3 lost for 6 min; breakers discover, shed, and re-admit it",
+		Clients:     48,
+		Scale:       0.04,
+		Workload:    workload.SpecOLTP,
+		Horizon:     70 * time.Minute,
+		Warmup:      10 * time.Minute,
+		Throttled:   true,
+		Seed:        1,
+		Nodes:       3,
+		Router:      cluster.RoundRobin,
+		Load: func(l *workload.LoadConfig) {
+			retryDriver(l)
+			l.ThinkTime = 5 * time.Second
+		},
+		Breaker:      &cluster.BreakerConfig{Enabled: true},
+		FailoverHops: 2,
+		Fault: &fault.Plan{Seed: 108, Injections: []fault.Injection{
+			{Kind: fault.CrashRestart, Node: 1, At: 40 * time.Minute, Duration: 6 * time.Minute},
+		}},
+	}
+	Default.MustRegister(recovery)
 }

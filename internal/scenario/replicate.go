@@ -176,6 +176,15 @@ var (
 	// pooled across nodes on cluster runs — the routing-locality claim
 	// compares it between affinity and round-robin twins.
 	MetricPlanCacheHitRate = Metric{"plan-hit-rate", func(r SeedRun) float64 { return r.Result.PlanCacheHitRate }}
+	// MetricRerouted counts submissions the cluster router steered away
+	// from the policy's first choice (down, tripped, or unhealthy node).
+	MetricRerouted = Metric{"rerouted", func(r SeedRun) float64 { return float64(r.Result.Rerouted) }}
+	// MetricResubmitted counts router-level failover resubmissions after
+	// crashed responses.
+	MetricResubmitted = Metric{"resubmitted", func(r SeedRun) float64 { return float64(r.Result.Resubmitted) }}
+	// MetricRouterAllExcluded counts submissions that found every node
+	// excluded and went to the policy's first choice anyway.
+	MetricRouterAllExcluded = Metric{"all-excluded", func(r SeedRun) float64 { return float64(r.Result.RouterAllExcluded) }}
 )
 
 // Samples extracts m across the seeds, in seed order.

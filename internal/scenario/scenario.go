@@ -64,6 +64,17 @@ type Scenario struct {
 	// Router is the cluster routing policy (zero value: round-robin).
 	// Ignored when Nodes <= 1.
 	Router cluster.Policy
+	// Health, when non-nil, turns on health-aware node exclusion in the
+	// cluster router (shared read-only across sweep runs). Cluster
+	// scenarios only.
+	Health *cluster.HealthConfig
+	// Breaker, when non-nil, arms per-node circuit breakers in the
+	// cluster router (shared read-only across sweep runs). Cluster
+	// scenarios only.
+	Breaker *cluster.BreakerConfig
+	// FailoverHops bounds router-level failover resubmission on crashed
+	// responses (0 disables it). Cluster scenarios only.
+	FailoverHops int
 }
 
 // Validate reports whether the scenario describes a runnable experiment.
@@ -88,6 +99,12 @@ func (s Scenario) Validate() error {
 	}
 	if s.Nodes > 1 && !s.Router.Valid() {
 		return fmt.Errorf("scenario %s: unknown router policy %q", s.Name, string(s.Router))
+	}
+	if s.Nodes <= 1 && (s.Health != nil || s.Breaker != nil || s.FailoverHops != 0) {
+		return fmt.Errorf("scenario %s: router health/breaker/failover settings require a cluster (nodes = %d)", s.Name, s.Nodes)
+	}
+	if s.FailoverHops < 0 {
+		return fmt.Errorf("scenario %s: negative failover hops %d", s.Name, s.FailoverHops)
 	}
 	if s.Fault != nil {
 		if err := s.Fault.Validate(); err != nil {
@@ -119,6 +136,10 @@ func (s Scenario) Options() harness.Options {
 		Fault:     s.Fault,
 		Nodes:     s.Nodes,
 		Router:    s.Router,
+
+		Health:       s.Health,
+		Breaker:      s.Breaker,
+		FailoverHops: s.FailoverHops,
 	}
 	if s.Engine != nil {
 		cfg := engine.DefaultConfig()

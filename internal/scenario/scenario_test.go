@@ -218,18 +218,21 @@ func TestSweepWorkerCountInvariance(t *testing.T) {
 		}
 	}
 	// Cluster pass: the affinity fleet's per-seed results must be
-	// worker-count invariant as well.
-	clOne, err := Replication{Scenario: MustGet(t, "cluster-affinity"), Seeds: Seeds(2), Workers: 1}.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	clMany, err := Replication{Scenario: MustGet(t, "cluster-affinity"), Seeds: Seeds(2), Workers: 0}.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range clOne.Runs {
-		if !reflect.DeepEqual(clOne.Runs[i], clMany.Runs[i]) {
-			t.Errorf("cluster replication seed %d differs between workers=1 and workers=N", clOne.Runs[i].Seed)
+	// worker-count invariant as well; cluster-thrash-shed re-proves it
+	// with health exclusion, breakers, and failover all armed.
+	for _, name := range []string{"cluster-affinity", "cluster-thrash-shed"} {
+		clOne, err := Replication{Scenario: MustGet(t, name), Seeds: Seeds(2), Workers: 1}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clMany, err := Replication{Scenario: MustGet(t, name), Seeds: Seeds(2), Workers: 0}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range clOne.Runs {
+			if !reflect.DeepEqual(clOne.Runs[i], clMany.Runs[i]) {
+				t.Errorf("%s replication seed %d differs between workers=1 and workers=N", name, clOne.Runs[i].Seed)
+			}
 		}
 	}
 

@@ -50,17 +50,22 @@ func TestShardCountInvariance(t *testing.T) {
 	// Cluster pass: a multi-node run adds N servers and a router to one
 	// event loop; its per-seed results (including the per-node breakdown
 	// and the injected node loss) must be shard-count invariant too.
-	clRef, err := Replication{Scenario: MustGet(t, "cluster-nodeloss"), Seeds: Seeds(2), Workers: 1}.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	clSharded, err := Replication{Scenario: MustGet(t, "cluster-nodeloss"), Seeds: Seeds(2), Workers: 4}.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range clRef.Runs {
-		if !reflect.DeepEqual(clRef.Runs[i], clSharded.Runs[i]) {
-			t.Errorf("cluster replication seed %d differs between shards=1 and shards=4", clRef.Runs[i].Seed)
+	// cluster-breaker-recovery re-proves it with the full health plane
+	// armed — breaker state machines, failover resubmission, and the
+	// per-node transition trails all live on the same loop.
+	for _, name := range []string{"cluster-nodeloss", "cluster-breaker-recovery"} {
+		clRef, err := Replication{Scenario: MustGet(t, name), Seeds: Seeds(2), Workers: 1}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clSharded, err := Replication{Scenario: MustGet(t, name), Seeds: Seeds(2), Workers: 4}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range clRef.Runs {
+			if !reflect.DeepEqual(clRef.Runs[i], clSharded.Runs[i]) {
+				t.Errorf("%s replication seed %d differs between shards=1 and shards=4", name, clRef.Runs[i].Seed)
+			}
 		}
 	}
 

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Coverage floors for the packages the simulation's correctness hangs
 # on: the staged compile-memory model (engine/mem), the deterministic
-# event core (vtime), the cluster router, and the replication/claims
-# machinery (scenario). Floors sit a few points below the measured
-# coverage at the time they were set (engine 82.0, mem 84.7, scenario
-# 85.4, vtime 95.0, fault 100.0, cluster 97.9), so they trip on real
-# regressions, not on refactoring noise.
+# event core (vtime), the cluster router with its health/breaker
+# control loop, and the replication/claims machinery (scenario).
+# Floors sit a few points below the measured coverage at the time they
+# were set (engine 83.3, mem 93.2, scenario 86.9, vtime 95.0, fault
+# 100.0, cluster 94.5 — the last measured after the breaker and health
+# planes landed), so they trip on real regressions, not on refactoring
+# noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
